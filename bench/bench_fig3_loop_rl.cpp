@@ -1,0 +1,97 @@
+// Figure 3(b)/(d): loop resistance and inductance vs log(frequency),
+// extracted FastHenry-style (conductors only), compared against the
+// two-frequency ladder fit of [5].
+//
+// Paper shape: R rises with frequency (current crowding / proximity), L
+// falls (return current moves closer to the signal); the PEEC view with
+// capacitance diverges from the conductor-only LOOP view at high frequency.
+#include <cstdio>
+
+#include "core/frequency_analysis.hpp"
+#include "geom/topologies.hpp"
+#include "loop/ladder_fit.hpp"
+#include "loop/port_extractor.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Fig. 3 — loop R & L vs log(frequency)\n");
+  std::printf("=====================================\n\n");
+
+  // Signal line over a ground grid: the paper's Fig. 3(a) topology.
+  geom::Layout layout(geom::default_tech());
+  const int sig = layout.add_net("sig", geom::NetKind::Signal);
+  const int gnd = layout.add_net("gnd", geom::NetKind::Ground);
+  layout.add_wire(sig, 6, {0, 0}, {um(1000), 0}, um(3));
+  for (int i = 1; i <= 3; ++i) {
+    layout.add_wire(gnd, 6, {0, i * um(8)}, {um(1000), i * um(8)}, um(2));
+    layout.add_wire(gnd, 6, {0, -i * um(8)}, {um(1000), -i * um(8)}, um(2));
+  }
+  geom::Driver d;
+  d.at = {0, 0};
+  d.layer = 6;
+  d.signal_net = sig;
+  layout.add_driver(d);
+  geom::Receiver r;
+  r.at = {um(1000), 0};
+  r.layer = 6;
+  r.signal_net = sig;
+  r.name = "rcv";
+  layout.add_receiver(r);
+
+  loop::LoopExtractionOptions opts;
+  opts.max_segment_length = um(250);
+  opts.mqs.skin.max_width = um(1.0);
+
+  const auto freqs = loop::log_frequency_sweep(1e7, 1e11, 13);
+  const auto sweep = loop::extract_loop_rl(layout, sig, freqs, opts);
+
+  // Ladder fit anchored at 100 MHz and 10 GHz (the paper's two-frequency
+  // construction).
+  loop::LoopImpedance low, high;
+  for (const auto& z : sweep) {
+    if (std::abs(z.frequency - 1e8) / 1e8 < 0.5) low = z;
+    if (std::abs(z.frequency - 1e10) / 1e10 < 0.5) high = z;
+  }
+  const loop::LadderModel ladder = loop::fit_ladder(low, high);
+
+  // The PEEC curve: same port, but on the full detailed model with all
+  // capacitance present (the second trace of Fig. 3b).
+  core::PeecPortOptions popts;
+  popts.peec.max_segment_length = um(250);
+  const auto peec_sweep = core::peec_port_impedance(layout, sig, freqs, popts);
+
+  std::printf("%12s %12s %12s %12s %12s %14s %14s\n", "f (Hz)",
+              "R_loop (ohm)", "L_loop (nH)", "R_peec (ohm)", "L_peec (nH)",
+              "R_ladder (ohm)", "L_ladder (nH)");
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const auto& z = sweep[k];
+    const double w = 2 * M_PI * z.frequency;
+    std::printf("%12.3e %12.4f %12.4f %12.4f %12.4f %14.4f %14.4f\n",
+                z.frequency, z.resistance, z.inductance * 1e9,
+                peec_sweep[k].resistance, peec_sweep[k].inductance * 1e9,
+                ladder.resistance(w), ladder.inductance(w) * 1e9);
+  }
+
+  std::printf("\nladder parameters (Fig. 3d): R0=%.4f ohm, L0=%.4f nH, "
+              "R1=%.4f ohm, L1=%.4f nH\n",
+              ladder.r0, ladder.l0 * 1e9, ladder.r1, ladder.l1 * 1e9);
+
+  // Broadband extension: least-squares multi-branch ladders over the whole
+  // sweep ("improved by increasing the number of RLC-pi segments").
+  std::printf("\nbroadband ladder fit quality (relative RMS misfit):\n");
+  for (const int nb : {1, 2, 3}) {
+    const loop::MultiLadderModel multi = loop::fit_ladder_multi(sweep, nb);
+    std::printf("  %d branch(es): %.4f%%\n", nb,
+                100.0 * loop::ladder_fit_error(multi, sweep));
+  }
+  std::printf("\nshape check: R(10^11)/R(10^7) = %.2fx (rises), "
+              "L(10^11)/L(10^7) = %.2fx (falls)\n",
+              sweep.back().resistance / sweep.front().resistance,
+              sweep.back().inductance / sweep.front().inductance);
+  std::printf("paper shape: the LOOP and PEEC curves agree at low frequency\n"
+              "and diverge as capacitance redirects the return current — the\n"
+              "inaccuracy Section 5 warns the loop model inherits.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 8: "Staggered Inverters" — with staggered inverting repeaters, the
+// polarity of the aggressor's transition alternates along the coupled run
+// ("the signal polarities alternate with each inverter, and hence the
+// impact of the coupling tend to cancel out"), and the same-direction
+// overlap length between adjacent wires shrinks.
+//
+// Experiment: a quiet victim runs alongside an aggressor route that is
+// split into two repeater sections. In the plain configuration both
+// sections transition with the same polarity; with inverting repeaters the
+// second section transitions the opposite way — the charge coupled into the
+// victim from the two halves cancels.
+#include <cstdio>
+
+#include "design/metrics.hpp"
+#include "geom/topologies.hpp"
+
+using namespace ind;
+using geom::um;
+
+namespace {
+
+struct Config {
+  bool invert_second_section;
+};
+
+double victim_noise_for(const Config& cfg) {
+  geom::Layout l(geom::default_tech());
+  const double length = um(1600);
+  const double pitch = um(2);
+  const double repeater_delay = 30e-12;
+
+  // Quiet victim on the adjacent track.
+  const int victim = l.add_net("victim", geom::NetKind::Signal);
+  l.add_wire(victim, 6, {0, pitch}, {length, pitch}, um(1));
+  geom::Driver vd;
+  vd.at = {0, pitch};
+  vd.layer = 6;
+  vd.signal_net = victim;
+  vd.name = "victim_drv";
+  l.add_driver(vd);
+  geom::Receiver vr;
+  vr.at = {length, pitch};
+  vr.layer = 6;
+  vr.signal_net = victim;
+  vr.name = "victim_rcv";
+  l.add_receiver(vr);
+
+  // Aggressor: two repeater sections (separate nets, tiny break between).
+  const double mid = 0.5 * length;
+  const int sec0 = l.add_net("agg0", geom::NetKind::Signal);
+  const int sec1 = l.add_net("agg1", geom::NetKind::Signal);
+  l.add_wire(sec0, 6, {0, 0}, {mid - um(1), 0}, um(1));
+  l.add_wire(sec1, 6, {mid + um(1), 0}, {length, 0}, um(1));
+
+  geom::Driver d0;
+  d0.at = {0, 0};
+  d0.layer = 6;
+  d0.signal_net = sec0;
+  d0.name = "agg0_drv";
+  l.add_driver(d0);
+  geom::Receiver r0;  // repeater input load at the section end
+  r0.at = {mid - um(1), 0};
+  r0.layer = 6;
+  r0.signal_net = sec0;
+  r0.name = "agg0_rcv";
+  l.add_receiver(r0);
+
+  geom::Driver d1;
+  d1.at = {mid + um(1), 0};
+  d1.layer = 6;
+  d1.signal_net = sec1;
+  d1.start_time = repeater_delay;  // launched by the repeater
+  d1.rising = !cfg.invert_second_section;
+  d1.name = "agg1_drv";
+  l.add_driver(d1);
+  geom::Receiver r1;
+  r1.at = {length, 0};
+  r1.layer = 6;
+  r1.signal_net = sec1;
+  r1.name = "agg1_rcv";
+  l.add_receiver(r1);
+
+  peec::PeecOptions popts;
+  popts.max_segment_length = um(200);
+  circuit::TransientOptions topts;
+  topts.t_stop = 1.0e-9;
+  topts.dt = 2e-12;
+  return design::victim_noise(l, {sec0, sec1}, victim, popts, topts)
+      .peak_volts;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 8 — staggered (inverting) repeaters: victim noise\n");
+  std::printf("======================================================\n\n");
+
+  const double plain = victim_noise_for({.invert_second_section = false});
+  const double staggered = victim_noise_for({.invert_second_section = true});
+
+  std::printf("victim peak noise, aggressor in two repeater sections:\n");
+  std::printf("  same-polarity sections (buffers)      : %7.1f mV\n",
+              plain * 1e3);
+  std::printf("  alternating polarity (staggered invs) : %7.1f mV\n",
+              staggered * 1e3);
+  std::printf("  reduction                             : %7.1f %%\n",
+              100.0 * (1.0 - staggered / plain));
+  std::printf(
+      "\npaper shape: alternating transition polarity along the coupled run\n"
+      "cancels the coupled charge; same-polarity buffering accumulates it.\n");
+  return 0;
+}

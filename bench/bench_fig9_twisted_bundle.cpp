@@ -1,0 +1,69 @@
+// Figure 9: "Twisted-Bundle Layout" — complementary net pairs swap tracks on
+// a binary-counter schedule per routing region, "such that the magnetic
+// fluxes arising from any signal net within a twisted group cancel each
+// other in the current loop of a net of interest": loop-to-loop mutual
+// inductance and simulated victim noise both collapse vs the parallel
+// bundle.
+#include <cstdio>
+
+#include "design/metrics.hpp"
+#include "geom/topologies.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Fig. 9 — twisted-bundle layout vs parallel bundle\n");
+  std::printf("=================================================\n\n");
+
+  geom::TwistedBundleSpec spec;
+  spec.bits = 4;  // two complementary pairs: (0,1) and (2,3)
+  spec.regions = 4;
+  spec.length = um(1600);
+  spec.width = um(1);
+  spec.spacing = um(1);
+
+  geom::Layout parallel(geom::default_tech());
+  spec.twisted = false;
+  const auto pr = geom::add_twisted_bundle(parallel, spec);
+  geom::Layout twisted(geom::default_tech());
+  spec.twisted = true;
+  const auto tr = geom::add_twisted_bundle(twisted, spec);
+
+  // Loop-to-loop mutual: aggressor pair (2,3) -> victim pair (0,1).
+  const double m_par = design::pair_loop_mutual(
+      parallel, pr.signal_nets[2], pr.signal_nets[3], pr.signal_nets[0],
+      pr.signal_nets[1]);
+  const double m_tw = design::pair_loop_mutual(
+      twisted, tr.signal_nets[2], tr.signal_nets[3], tr.signal_nets[0],
+      tr.signal_nets[1]);
+  std::printf("loop-to-loop mutual inductance (aggressor pair -> victim pair):\n");
+  std::printf("  parallel bundle : %10.3f pH\n", m_par * 1e12);
+  std::printf("  twisted bundle  : %10.3f pH  (%.1f%% of parallel)\n\n",
+              m_tw * 1e12, 100.0 * std::abs(m_tw / m_par));
+
+  // Transient victim noise: the aggressor pair switches complementarily
+  // (a+ rises, a- falls), victim pair is quiet.
+  auto run_noise = [&](geom::Layout& l, const geom::BusResult& bus) {
+    for (geom::Driver& d : l.drivers())
+      if (d.signal_net == bus.signal_nets[3]) d.rising = false;  // a- falls
+    peec::PeecOptions popts;
+    popts.max_segment_length = um(200);
+    circuit::TransientOptions topts;
+    topts.t_stop = 1.0e-9;
+    topts.dt = 2e-12;
+    return design::victim_noise(l, {bus.signal_nets[2], bus.signal_nets[3]},
+                                bus.signal_nets[0], popts, topts)
+        .peak_volts;
+  };
+  const double v_par = run_noise(parallel, pr);
+  const double v_tw = run_noise(twisted, tr);
+
+  std::printf("victim peak noise, complementary aggressor pair switching:\n");
+  std::printf("  parallel bundle : %7.1f mV\n", v_par * 1e3);
+  std::printf("  twisted bundle  : %7.1f mV  (%.0f%% reduction)\n", v_tw * 1e3,
+              100.0 * (1.0 - v_tw / v_par));
+  std::printf("\npaper shape: twisting cancels the inductively coupled flux;\n"
+              "the residual noise is capacitive (nearest-neighbour) coupling.\n");
+  return 0;
+}

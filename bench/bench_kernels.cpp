@@ -1,0 +1,119 @@
+// Kernel micro-benchmarks (google-benchmark): the inner loops whose cost
+// drives every flow — mutual-inductance evaluation, partial-matrix assembly,
+// dense/sparse factorisation, transient stepping.
+#include <benchmark/benchmark.h>
+
+#include "circuit/transient.hpp"
+#include "extract/partial_inductance.hpp"
+#include "geom/topologies.hpp"
+#include "la/lu.hpp"
+#include "la/sparse_lu.hpp"
+#include "peec/model_builder.hpp"
+
+using namespace ind;
+using geom::um;
+
+namespace {
+
+std::vector<geom::Segment> bus_segments(int n) {
+  std::vector<geom::Segment> segs;
+  for (int i = 0; i < n; ++i) {
+    geom::Segment s;
+    s.a = {0, i * um(3)};
+    s.b = {um(500), i * um(3)};
+    s.width = um(1);
+    s.thickness = um(1);
+    segs.push_back(s);
+  }
+  return segs;
+}
+
+void BM_MutualInductanceKernel(benchmark::State& state) {
+  const auto segs = bus_segments(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(extract::mutual_between(segs[0], segs[1]));
+}
+BENCHMARK(BM_MutualInductanceKernel);
+
+void BM_PartialMatrixAssembly(benchmark::State& state) {
+  const auto segs = bus_segments(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(extract::build_partial_inductance_matrix(segs));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PartialMatrixAssembly)->Range(16, 256)->Complexity();
+
+void BM_DenseLuFactor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 4.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  for (auto _ : state) {
+    la::Matrix copy = a;
+    benchmark::DoNotOptimize(la::LU(std::move(copy)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseLuFactor)->Range(32, 512)->Complexity();
+
+void BM_SparseLuGridFactor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::TripletMatrix t(static_cast<std::size_t>(n * n),
+                      static_cast<std::size_t>(n * n));
+  auto id = [&](int i, int j) { return static_cast<std::size_t>(i * n + j); };
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      t.add(id(i, j), id(i, j), 4.0);
+      if (i > 0) t.add(id(i, j), id(i - 1, j), -1.0);
+      if (i < n - 1) t.add(id(i, j), id(i + 1, j), -1.0);
+      if (j > 0) t.add(id(i, j), id(i, j - 1), -1.0);
+      if (j < n - 1) t.add(id(i, j), id(i, j + 1), -1.0);
+    }
+  const la::CscMatrix a(t);
+  for (auto _ : state) benchmark::DoNotOptimize(la::SparseLu(a));
+}
+BENCHMARK(BM_SparseLuGridFactor)->Range(8, 64);
+
+void BM_PeecModelBuild(benchmark::State& state) {
+  geom::Layout layout(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(400);
+  spec.grid.extent_y = um(400);
+  spec.grid.pitch = um(100);
+  geom::add_driver_receiver_grid(layout, spec);
+  peec::PeecOptions opts;
+  opts.max_segment_length = um(100);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(peec::build_peec_model(layout, opts));
+}
+BENCHMARK(BM_PeecModelBuild);
+
+void BM_TransientStep(benchmark::State& state) {
+  circuit::Netlist nl;
+  const auto in = nl.node("in");
+  nl.add_vsource(in, circuit::kGround, circuit::Pwl({{0.0, 0.0}, {1e-11, 1.0}}));
+  circuit::NodeId prev = in;
+  for (int k = 0; k < 100; ++k) {
+    const auto next = nl.make_node();
+    nl.add_resistor(prev, next, 10.0);
+    nl.add_capacitor(next, circuit::kGround, 5e-15);
+    prev = next;
+  }
+  circuit::TransientOptions opts;
+  opts.t_stop = 0.2e-9;
+  opts.dt = 1e-12;
+  const circuit::Probe p{circuit::ProbeKind::NodeVoltage,
+                         static_cast<std::size_t>(prev), "out"};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(circuit::transient(nl, {p}, opts));
+}
+BENCHMARK(BM_TransientStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

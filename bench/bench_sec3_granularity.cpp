@@ -1,0 +1,74 @@
+// Section 3 ablation: PEEC model granularity and coupling window.
+//
+// Two design choices every PEEC deployment must make, called out in
+// DESIGN.md: (a) how finely to subdivide wires into RLC-pi segments, and
+// (b) how far out to compute mutual couplings before handing the matrix to
+// a sparsifier. This bench quantifies the accuracy/size/run-time trade-off
+// of both knobs against the finest model.
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "geom/topologies.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Section 3 — PEEC granularity and coupling-window ablation\n");
+  std::printf("=========================================================\n\n");
+
+  geom::Layout layout(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(500);
+  spec.grid.extent_y = um(500);
+  spec.grid.pitch = um(125);
+  spec.signal_length = um(400);
+  spec.signal_width = um(3);
+  const auto placed = geom::add_driver_receiver_grid(layout, spec);
+
+  core::AnalysisOptions opts;
+  opts.signal_net = placed.signal_net;
+  opts.flow = core::Flow::PeecRlcFull;
+  opts.transient.t_stop = 1.2e-9;
+  opts.transient.dt = 2e-12;
+
+  // --- (a) segment-length sweep at unbounded window.
+  opts.peec.max_segment_length = um(40);
+  const auto finest = core::analyze(layout, opts);
+  std::printf("(a) RLC-pi granularity (reference: 40um segments, delay %s)\n",
+              core::format_ps(finest.worst_delay).c_str());
+  std::printf("%16s %10s %10s %12s %10s\n", "max segment", "R count",
+              "mutuals", "delay error", "run-time");
+  for (const double seg_um : {400.0, 200.0, 100.0, 60.0}) {
+    opts.peec.max_segment_length = um(seg_um);
+    const auto r = core::analyze(layout, opts);
+    std::printf("%13.0fum %10zu %10zu %+10.2fps %10s\n", seg_um,
+                r.counts.resistors, r.counts.mutuals,
+                (r.worst_delay - finest.worst_delay) * 1e12,
+                core::format_runtime(r.total_seconds()).c_str());
+  }
+
+  // --- (b) mutual-window sweep at fixed granularity.
+  opts.peec.max_segment_length = um(125);
+  opts.peec.mutual_window = 1e9;
+  const auto full_window = core::analyze(layout, opts);
+  std::printf("\n(b) mutual coupling window (reference: unbounded, delay %s)\n",
+              core::format_ps(full_window.worst_delay).c_str());
+  std::printf("%16s %10s %12s %10s\n", "window", "mutuals", "delay error",
+              "run-time");
+  for (const double win_um : {700.0, 300.0, 150.0, 60.0, 20.0}) {
+    opts.peec.mutual_window = um(win_um);
+    const auto r = core::analyze(layout, opts);
+    std::printf("%13.0fum %10zu %+10.2fps %10s\n", win_um, r.counts.mutuals,
+                (r.worst_delay - full_window.worst_delay) * 1e12,
+                core::format_runtime(r.total_seconds()).c_str());
+  }
+
+  std::printf(
+      "\nshape: delay converges as segments shrink (distributed RLC limit);\n"
+      "window truncation converges from below as the long-range mutual terms\n"
+      "(slowly, log-like) are recovered — which is why Section 4's smarter\n"
+      "sparsifiers beat naive distance cut-offs.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Section 4, combined technique [4]: PRIMA reduced-order modelling with
+// driver co-simulation, on top of block-diagonal sparsification. Sweeps the
+// reduced order to show the accuracy/run-time control the paper highlights,
+// and compares against the flat PEEC simulation.
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "geom/topologies.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Section 4 — PRIMA reduced-order flow (combined technique of [4])\n");
+  std::printf("================================================================\n\n");
+
+  geom::Layout layout(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(500);
+  spec.grid.extent_y = um(500);
+  spec.grid.pitch = um(125);
+  spec.signal_length = um(400);
+  spec.signal_width = um(3);
+  const auto placed = geom::add_driver_receiver_grid(layout, spec);
+
+  core::AnalysisOptions opts;
+  opts.signal_net = placed.signal_net;
+  opts.peec.max_segment_length = um(125);
+  opts.transient.t_stop = 1.2e-9;
+  opts.transient.dt = 2e-12;
+
+  opts.flow = core::Flow::PeecRlcFull;
+  const auto full = core::analyze(layout, opts);
+  std::printf("flat PEEC (RLC): %zu unknowns, delay %s, run-time %s\n\n",
+              full.unknowns, core::format_ps(full.worst_delay).c_str(),
+              core::format_runtime(full.total_seconds()).c_str());
+
+  std::printf("%8s %8s %12s %12s %14s %14s\n", "order", "basis", "delay",
+              "error", "build time", "sim time");
+  opts.flow = core::Flow::PeecRlcPrima;
+  for (const std::size_t order : {4u, 8u, 16u, 32u, 64u}) {
+    opts.params.prima_order = order;
+    const auto r = core::analyze(layout, opts);
+    std::printf("%8zu %8zu %12s %+11.1fps %14s %14s\n", order,
+                r.reduced_order, core::format_ps(r.worst_delay).c_str(),
+                (r.worst_delay - full.worst_delay) * 1e12,
+                core::format_runtime(r.build_seconds).c_str(),
+                core::format_runtime(r.solve_seconds).c_str());
+  }
+
+  // Ablation: PRIMA on the full-coupled model vs on block-diagonal (the
+  // combined technique).
+  std::printf("\ncombined-technique ablation at order 48:\n");
+  opts.params.prima_order = 48;
+  opts.params.prima_on_block_diagonal = false;
+  const auto on_full = core::analyze(layout, opts);
+  opts.params.prima_on_block_diagonal = true;
+  const auto on_bd = core::analyze(layout, opts);
+  std::printf("  PRIMA on full mutuals     : delay %s, build %s\n",
+              core::format_ps(on_full.worst_delay).c_str(),
+              core::format_runtime(on_full.build_seconds).c_str());
+  std::printf("  PRIMA on block-diagonal   : delay %s, build %s\n",
+              core::format_ps(on_bd.worst_delay).c_str(),
+              core::format_runtime(on_bd.build_seconds).c_str());
+  // Hierarchical models [16]: per-block reduction with exact global nodes.
+  std::printf("\nhierarchical models (global nodes + per-block reduction):\n");
+  opts.flow = core::Flow::PeecRlcHier;
+  for (const std::size_t per_block : {8u, 16u, 32u}) {
+    opts.params.hier_order_per_block = per_block;
+    const auto r = core::analyze(layout, opts);
+    std::printf("  order/block %2zu -> total order %3zu of %3zu: delay %s "
+                "(%+.1fps), sim %s\n",
+                per_block, r.reduced_order, r.unknowns,
+                core::format_ps(r.worst_delay).c_str(),
+                (r.worst_delay - full.worst_delay) * 1e12,
+                core::format_runtime(r.solve_seconds).c_str());
+  }
+
+  std::printf(
+      "\npaper shape: the reduced model matches the flat simulation within a\n"
+      "few ps once the order passes ~16, and the simulation phase runs in\n"
+      "seconds ('the SPICE simulation for the reduced-order models took\n"
+      "about 30sec in each case').\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Section 4 ablation: every sparsification scheme on the same bus-over-grid
+// workload — matrix density, stability certificate (the paper's central
+// truncation warning), delay error vs the full PEEC model, and run-time.
+#include <chrono>
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "geom/topologies.hpp"
+#include "sparsify/block_diagonal.hpp"
+#include "sparsify/halo.hpp"
+#include "sparsify/kmatrix.hpp"
+#include "sparsify/shell.hpp"
+#include "sparsify/stability.hpp"
+#include "sparsify/truncation.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Section 4 — sparsification schemes: stability / density / accuracy\n");
+  std::printf("==================================================================\n\n");
+
+  // Workload: an 8-bit bus with a ground shield every two bits (interleaved
+  // returns are what give the halo method something to bound against),
+  // flanked by power/ground straps.
+  geom::Layout layout(geom::default_tech());
+  const int gnd = layout.add_net("gnd", geom::NetKind::Ground);
+  const int vdd = layout.add_net("vdd", geom::NetKind::Power);
+  geom::BusSpec bus;
+  bus.bits = 8;
+  bus.length = um(900);
+  bus.spacing = um(1.2);
+  bus.origin = {0, um(8)};
+  bus.shield_period = 2;
+  bus.shield_net = gnd;
+  const auto br = geom::add_bus(layout, bus);
+  layout.add_wire(gnd, 6, {0, 0}, {um(900), 0}, um(4));
+  layout.add_wire(vdd, 6, {0, um(8 + 12 * 2.2)}, {um(900), um(8 + 12 * 2.2)},
+                  um(4));
+
+  // --- matrix-level comparison on the extracted partial-inductance matrix.
+  const geom::Layout refined = geom::refine(layout, um(150));
+  const auto x = extract::extract(refined, {});
+  const auto& segs = refined.segments();
+  std::printf("matrix: %zu segments, %zu mutual pairs\n\n", segs.size(),
+              x.num_mutual_terms());
+
+  struct Scheme {
+    const char* name;
+    sparsify::SparsifiedL spec;
+  };
+  std::vector<Scheme> schemes;
+  schemes.push_back({"full (reference)", sparsify::truncate(x.partial_l, 0.0)});
+  schemes.push_back({"truncation r=0.3", sparsify::truncate(x.partial_l, 0.3)});
+  schemes.push_back({"truncation r=0.6", sparsify::truncate(x.partial_l, 0.6)});
+  schemes.push_back(
+      {"block-diagonal", sparsify::block_diagonal(
+                             x.partial_l, sparsify::sections_by_strip(
+                                              segs, geom::Axis::Y, um(8)))});
+  schemes.push_back({"shell r0=10um", sparsify::shell(segs, um(10))});
+  schemes.push_back({"halo", sparsify::halo(segs, x.partial_l)});
+  schemes.push_back({"K-matrix r=0.02",
+                     sparsify::kmatrix_sparsify(x.partial_l, 0.02)});
+
+  std::printf("%-18s %10s %10s %8s %14s\n", "scheme", "mutuals", "density",
+              "PSD?", "min eig");
+  for (const Scheme& s : schemes) {
+    const auto rep = sparsify::analyze_stability(s.spec);
+    char eig[32];
+    if (s.spec.use_kmatrix)
+      std::snprintf(eig, sizeof eig, "%.3g 1/H", rep.min_eigenvalue);
+    else
+      std::snprintf(eig, sizeof eig, "%.2f pH", rep.min_eigenvalue * 1e12);
+    std::printf("%-18s %10zu %9.1f%% %8s %14s\n", s.name,
+                s.spec.kept_mutual_count(), 100.0 * s.spec.density(),
+                rep.positive_definite ? "yes" : "NO", eig);
+  }
+
+  // --- circuit-level comparison: delay error and run-time per flow.
+  std::printf("\ncircuit-level flows on a clock line over a grid:\n\n");
+  geom::Layout wl(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(500);
+  spec.grid.extent_y = um(500);
+  spec.grid.pitch = um(125);
+  spec.signal_length = um(400);
+  spec.signal_width = um(3);
+  const auto placed = geom::add_driver_receiver_grid(wl, spec);
+
+  core::AnalysisOptions opts;
+  opts.signal_net = placed.signal_net;
+  opts.peec.max_segment_length = um(125);
+  opts.transient.t_stop = 1.2e-9;
+  opts.transient.dt = 2e-12;
+  opts.params.block_strip_width = um(125);
+  opts.params.shell_radius = um(60);
+
+  opts.flow = core::Flow::PeecRlcFull;
+  const auto full = core::analyze(wl, opts);
+
+  std::printf("%-24s %10s %12s %12s %10s\n", "flow", "mutuals", "delay",
+              "error", "time");
+  std::printf("%-24s %10zu %12s %12s %10s\n", core::flow_name(full.flow),
+              full.counts.mutuals, core::format_ps(full.worst_delay).c_str(),
+              "-", core::format_runtime(full.total_seconds()).c_str());
+  for (const core::Flow flow :
+       {core::Flow::PeecRlcTruncated, core::Flow::PeecRlcBlockDiag,
+        core::Flow::PeecRlcShell, core::Flow::PeecRlcHalo,
+        core::Flow::PeecRlcKMatrix}) {
+    opts.flow = flow;
+    const auto r = core::analyze(wl, opts);
+    std::printf("%-24s %10zu %12s %+11.1fps %10s\n", core::flow_name(flow),
+                r.counts.mutuals, core::format_ps(r.worst_delay).c_str(),
+                (r.worst_delay - full.worst_delay) * 1e12,
+                core::format_runtime(r.total_seconds()).c_str());
+  }
+  std::printf(
+      "\npaper shape: aggressive truncation loses positive definiteness (the\n"
+      "'NO' rows above); block-diagonal and shell carry a PSD guarantee and\n"
+      "K-matrix truncation inherits the capacitance-like locality of K, all\n"
+      "with near-full accuracy at a fraction of the coupling terms. Note the\n"
+      "halo method, like plain truncation, offers no PSD guarantee — it is\n"
+      "an assumption about return paths, which is exactly how the paper\n"
+      "qualifies it.\n");
+  return 0;
+}

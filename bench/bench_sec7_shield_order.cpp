@@ -1,0 +1,82 @@
+// Section 7, shield insertion + net ordering [21]: the NP-hard simultaneous
+// optimisation solved by greedy and simulated annealing, validated against
+// the exhaustive oracle on small instances and against real extracted
+// coupling on the realised layouts.
+#include <cstdio>
+
+#include "design/metrics.hpp"
+#include "design/shield_optimizer.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Section 7 — simultaneous shield insertion and net ordering\n");
+  std::printf("==========================================================\n\n");
+
+  // Problem: 6 nets, skewed sensitivities, budget of 2 shields.
+  design::ShieldOrderProblem p;
+  p.nets = 6;
+  p.sensitivity = la::Matrix(6, 6);
+  // Nets 0/1 are noisy aggressors; nets 4/5 are sensitive victims.
+  const double base = 1.0;
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j)
+      if (i != j) p.sensitivity(i, j) = base;
+  p.sensitivity(4, 0) = p.sensitivity(0, 4) = 9.0;
+  p.sensitivity(5, 1) = p.sensitivity(1, 5) = 7.0;
+  p.sensitivity(4, 1) = p.sensitivity(1, 4) = 5.0;
+  p.max_shields = 2;
+
+  design::TrackAssignment naive;
+  naive.order = {0, 1, 2, 3, 4, 5};
+  naive.shield_after.assign(6, false);
+
+  const auto greedy = design::solve_greedy(p);
+  const auto annealed = design::solve_annealing(p, 11, 40000);
+  const auto oracle = design::solve_exhaustive(p);
+
+  auto describe = [&](const char* name, const design::TrackAssignment& t) {
+    std::printf("%-22s cost %8.3f  order [", name, design::evaluate_cost(p, t));
+    for (std::size_t k = 0; k < t.order.size(); ++k) {
+      std::printf("%d", t.order[k]);
+      if (k < t.order.size() - 1 && t.shield_after[k]) std::printf(" G");
+      if (k < t.order.size() - 1) std::printf(" ");
+    }
+    std::printf("]  shields %d\n", t.shields_used());
+  };
+  describe("unoptimised", naive);
+  describe("greedy", greedy);
+  describe("simulated annealing", annealed);
+  describe("exhaustive oracle", oracle);
+
+  // Validate on the realised layouts: worst extracted aggressor->victim
+  // coupling capacitance across all pairs weighted by sensitivity.
+  geom::BusSpec tmpl;
+  tmpl.length = um(800);
+  tmpl.width = um(1);
+  tmpl.spacing = um(1);
+  tmpl.add_drivers = false;
+  auto realized_metric = [&](const design::TrackAssignment& t) {
+    const geom::Layout l = design::realize_assignment(t, tmpl);
+    double acc = 0.0;
+    for (int i = 0; i < p.nets; ++i) {
+      for (int j = 0; j < p.nets; ++j) {
+        if (i == j) continue;
+        const int ni = l.find_net("net" + std::to_string(i));
+        const int nj = l.find_net("net" + std::to_string(j));
+        acc += p.sensitivity(i, j) *
+               design::net_coupling_capacitance(l, ni, nj, um(3)) * 1e15;
+      }
+    }
+    return acc;
+  };
+  std::printf("\nextraction-validated weighted coupling (fF, lower = better):\n");
+  std::printf("  unoptimised         : %8.2f\n", realized_metric(naive));
+  std::printf("  greedy              : %8.2f\n", realized_metric(greedy));
+  std::printf("  simulated annealing : %8.2f\n", realized_metric(annealed));
+  std::printf("  exhaustive oracle   : %8.2f\n", realized_metric(oracle));
+  std::printf("\npaper shape: both heuristics land near the oracle; the\n"
+              "cost-model winners also win on real extracted coupling.\n");
+  return 0;
+}

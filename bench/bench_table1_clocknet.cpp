@@ -1,0 +1,92 @@
+// Table 1: "Simulation of global clock net" — element counts, worst delay,
+// worst skew and run-time for PEEC(RC), PEEC(RLC) and LOOP(RLC).
+//
+// The workload is the synthetic global-clock-over-grid substitute for the
+// paper's proprietary microprocessor layout (see DESIGN.md); absolute counts
+// and times scale with the generator knobs, the *orderings* are the result:
+//   counts:   LOOP << PEEC;   mutuals only in PEEC(RLC)
+//   delay:    RC < LOOP <= RLC
+//   run-time: LOOP < RC < RLC
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "geom/topologies.hpp"
+
+using namespace ind;
+using geom::um;
+
+int main() {
+  std::printf("Table 1 — simulation of global clock net\n");
+  std::printf("========================================\n\n");
+
+  geom::Layout layout(geom::default_tech());
+  geom::PowerGridSpec grid;
+  grid.extent_x = um(800);
+  grid.extent_y = um(800);
+  grid.pitch = um(160);
+  grid.pads_per_side = 2;
+  grid.horizontal_layer = 3;  // keep layers 5/6 exclusive to the clock
+  grid.vertical_layer = 4;
+  geom::add_power_grid(layout, grid);
+  geom::ClockTreeSpec clock;
+  clock.levels = 3;  // 64 sector buffers
+  clock.center = {um(400), um(400)};
+  clock.span = um(600);
+  clock.driver_res = 5.0;
+  clock.sink_cap_variation = 0.6;  // sector buffers of different sizes
+  const int clk = geom::add_clock_htree(layout, clock);
+
+  core::AnalysisOptions opts;
+  opts.signal_net = clk;
+  opts.peec.max_segment_length = um(160);
+  opts.peec.decap.sites = 24;
+  opts.peec.background.enable = true;
+  opts.peec.background.sources = 8;
+  opts.transient.t_stop = 1.0e-9;
+  opts.transient.dt = 2e-12;
+  opts.loop.extraction.max_segment_length = um(200);
+  opts.loop.max_segment_length = um(160);
+  // The full-PEEC mutual window is bounded to keep the dense block tractable
+  // on a laptop; the paper's 10G mutuals needed the same kind of taming
+  // (that is the whole point of Section 4).
+  opts.peec.mutual_window = um(200);
+
+  std::vector<std::vector<std::string>> rows;
+  core::AnalysisReport reports[3];
+  const core::Flow flows[] = {core::Flow::PeecRc, core::Flow::PeecRlcFull,
+                              core::Flow::LoopRlc};
+  for (int i = 0; i < 3; ++i) {
+    opts.flow = flows[i];
+    reports[i] = core::analyze(layout, opts);
+    rows.push_back(core::table1_row(reports[i]));
+    std::fflush(stdout);
+  }
+  core::print_table(core::table1_header(), rows);
+
+  const auto& rc = reports[0];
+  const auto& rlc = reports[1];
+  const auto& loop = reports[2];
+  std::printf("\nshape checks vs the paper's Table 1:\n");
+  std::printf("  delay increase RC -> RLC : %+.1f ps  (paper: +30ps class)\n",
+              (rlc.worst_delay - rc.worst_delay) * 1e12);
+  std::printf("  skew  RC / RLC / LOOP    : %s / %s / %s  (paper: 9/19/12 ps)\n",
+              core::format_ps(rc.skew).c_str(),
+              core::format_ps(rlc.skew).c_str(),
+              core::format_ps(loop.skew).c_str());
+  std::printf("  run-time (build + simulate):\n");
+  std::printf("    PEEC (RC)  : %.2fs + %.2fs\n", rc.build_seconds,
+              rc.solve_seconds);
+  std::printf("    PEEC (RLC) : %.2fs + %.2fs   <- slowest, as in the paper\n",
+              rlc.build_seconds, rlc.solve_seconds);
+  std::printf("    LOOP (RLC) : %.2fs + %.2fs   <- tiny netlist, fastest "
+              "simulation\n",
+              loop.build_seconds, loop.solve_seconds);
+  std::printf(
+      "    (at the paper's 220k-element industrial scale the RC simulation\n"
+      "     dwarfs the loop extraction, giving the 20 vs 5 min. ordering;\n"
+      "     at bench scale the extraction overhead is visible instead)\n");
+  std::printf("  model size ordering      : LOOP R=%zu << PEEC R=%zu\n",
+              loop.counts.resistors, rlc.counts.resistors);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Power-grid noise study: supply bounce at a switching driver as a function
+// of package inductance and on-chip decap — the Section-2/3 current-loop
+// story (I1/I2/I3 return through the package unless decap shortcuts them).
+//
+//   build/examples/power_grid_noise
+#include <cstdio>
+
+#include "circuit/transient.hpp"
+#include "circuit/waveform.hpp"
+#include "geom/topologies.hpp"
+#include "peec/model_builder.hpp"
+
+using namespace ind;
+using geom::um;
+
+namespace {
+
+// Worst VDD droop at the driver's local power node.
+double supply_droop(double pad_l_scale, double decap_pf, bool background,
+                    bool substrate = false) {
+  geom::Layout layout(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(500);
+  spec.grid.extent_y = um(500);
+  spec.grid.pitch = um(125);
+  spec.signal_length = um(400);
+  spec.driver_res = 10.0;  // strong driver -> big current spike
+  geom::add_driver_receiver_grid(layout, spec);
+
+  peec::PeecOptions opts;
+  opts.max_segment_length = um(125);
+  opts.package.inductance_scale = pad_l_scale;
+  opts.decap.enable = decap_pf > 0.0;
+  opts.decap.total_capacitance = decap_pf * 1e-12;
+  opts.decap.sites = 16;
+  opts.background.enable = background;
+  opts.background.sources = 8;
+  opts.background.peak_current = 10e-3;
+  opts.substrate.enable = substrate;
+  const peec::PeecModel m = peec::build_peec_model(layout, opts);
+
+  // Probe the driver's local VDD node.
+  const auto& drv = m.netlist.drivers().front();
+  std::vector<circuit::Probe> probes{
+      {circuit::ProbeKind::NodeVoltage, static_cast<std::size_t>(drv.vdd),
+       "vdd_local"}};
+  circuit::TransientOptions topts;
+  topts.t_stop = 2e-9;
+  topts.dt = 2e-12;
+  const auto res = circuit::transient(m.netlist, probes, topts);
+  double droop = 0.0;
+  for (double v : res.samples[0]) droop = std::max(droop, 1.8 - v);
+  return droop;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Power grid noise vs package inductance and decap\n");
+  std::printf("================================================\n\n");
+  std::printf("%-34s %12s\n", "configuration", "VDD droop");
+  std::printf("------------------------------------------------\n");
+
+  struct Row {
+    const char* name;
+    double pad_scale;
+    double decap_pf;
+    bool background;
+  };
+  const Row rows[] = {
+      {"nominal package, no decap", 1.0, 0.0, false},
+      {"nominal package, 100pF decap", 1.0, 100.0, false},
+      {"4x package L, no decap", 4.0, 0.0, false},
+      {"4x package L, 100pF decap", 4.0, 100.0, false},
+      {"nominal, decap + background", 1.0, 100.0, true},
+  };
+  for (const Row& r : rows) {
+    const double droop = supply_droop(r.pad_scale, r.decap_pf, r.background);
+    std::printf("%-34s %9.1f mV\n", r.name, droop * 1e3);
+  }
+  // Substrate extension: the resistive bulk adds a secondary return/coupling
+  // path for the switching currents.
+  const double droop_sub = supply_droop(1.0, 100.0, false, /*substrate=*/true);
+  std::printf("%-34s %9.1f mV\n", "nominal, decap + substrate mesh", droop_sub * 1e3);
+  std::printf(
+      "\nExpected shape: droop grows with package inductance and shrinks\n"
+      "with decap (the decap closes current loops I1/I2 on-chip instead of\n"
+      "through the package, Section 2 of the paper).\n");
+  return 0;
+}

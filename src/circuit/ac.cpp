@@ -1,0 +1,44 @@
+#include "circuit/ac.hpp"
+
+#include <stdexcept>
+
+#include "la/lu.hpp"
+
+namespace ind::circuit {
+
+AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
+                  double omega, double driver_time) {
+  Mna mna(netlist);
+  const std::size_t n = mna.size();
+
+  la::TripletMatrix g, c;
+  mna.stamp_static(g, c);
+  mna.stamp_drivers(g, driver_time);
+
+  la::CMatrix a(n, n);
+  for (const auto& e : g.entries()) a(e.row, e.col) += e.value;
+  const la::Complex jw{0.0, omega};
+  for (const auto& e : c.entries()) a(e.row, e.col) += jw * e.value;
+
+  la::CVector b(n, la::Complex{});
+  switch (excitation.kind) {
+    case AcExcitation::Kind::VSource:
+      if (excitation.index >= netlist.vsources().size())
+        throw std::out_of_range("ac_solve: vsource index");
+      b[mna.vsource_branch(excitation.index)] = 1.0;
+      break;
+    case AcExcitation::Kind::ISource: {
+      if (excitation.index >= netlist.isources().size())
+        throw std::out_of_range("ac_solve: isource index");
+      const ISource& src = netlist.isources()[excitation.index];
+      if (src.a >= 0) b[static_cast<std::size_t>(src.a)] -= 1.0;
+      if (src.b >= 0) b[static_cast<std::size_t>(src.b)] += 1.0;
+      break;
+    }
+  }
+
+  AcResult result{la::CLU(std::move(a)).solve(b), std::move(mna)};
+  return result;
+}
+
+}  // namespace ind::circuit

@@ -1,0 +1,42 @@
+// Small-signal AC analysis: solves (G + j w C) x = b for a unit phasor
+// excitation at one independent source, all other sources zeroed.
+//
+// Used to validate reduced-order models against the full PEEC model in the
+// frequency domain and to characterise the loop-model ladder fit (Fig. 3).
+// Dense complex factorisation — intended for the moderate-size systems these
+// comparisons run on; the loop extractor (loop/) has its own large-scale
+// complex path.
+#pragma once
+
+#include "circuit/mna.hpp"
+
+namespace ind::circuit {
+
+struct AcExcitation {
+  enum class Kind { VSource, ISource };
+  Kind kind = Kind::VSource;
+  std::size_t index = 0;
+};
+
+struct AcResult {
+  la::CVector x;  ///< full MNA solution (nodes then branches)
+  Mna mna;        ///< index map for interpreting x
+
+  la::Complex node_voltage(NodeId node) const {
+    return node >= 0 ? x[static_cast<std::size_t>(node)] : la::Complex{};
+  }
+  la::Complex inductor_current(std::size_t k) const {
+    return x[mna.inductor_branch(k)];
+  }
+  la::Complex vsource_current(std::size_t k) const {
+    return x[mna.vsource_branch(k)];
+  }
+};
+
+/// Solves the AC system at angular frequency `omega` (rad/s). Switched
+/// drivers contribute their conductance at `driver_time` (default: fully
+/// settled).
+AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
+                  double omega, double driver_time = 1e12);
+
+}  // namespace ind::circuit

@@ -1,0 +1,143 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ind::circuit {
+
+namespace {
+
+// Linear crossfade in [0,1] of the transition progress at time t.
+double progress(double t, double start, double slew) {
+  if (t <= start) return 0.0;
+  if (t >= start + slew) return 1.0;
+  return (t - start) / slew;
+}
+
+}  // namespace
+
+namespace {
+
+// Turning-on device: ramps 0 -> 1 over progress [0.5 - ov/2, 1].
+double turn_on(double p, double ov) {
+  const double t0 = 0.5 * (1.0 - ov);
+  return std::clamp((p - t0) / (1.0 - t0), 0.0, 1.0);
+}
+
+// Turning-off device: ramps 1 -> 0 over progress [0, 0.5 + ov/2].
+double turn_off(double p, double ov) {
+  const double t1 = 0.5 * (1.0 + ov);
+  return std::clamp(1.0 - p / t1, 0.0, 1.0);
+}
+
+}  // namespace
+
+double SwitchedDriver::g_up(double t) const {
+  double p = progress(t, start, slew);
+  if (quantize_levels > 0) p = std::round(p * quantize_levels) / quantize_levels;
+  const double frac = rising ? turn_on(p, overlap) : turn_off(p, overlap);
+  return frac / pull_ohms;
+}
+
+double SwitchedDriver::g_dn(double t) const {
+  double p = progress(t, start, slew);
+  if (quantize_levels > 0) p = std::round(p * quantize_levels) / quantize_levels;
+  const double frac = rising ? turn_off(p, overlap) : turn_on(p, overlap);
+  return frac / pull_ohms;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  const auto it = named_.find(name);
+  if (it != named_.end()) return it->second;
+  const NodeId id = next_node_++;
+  named_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::make_node() { return next_node_++; }
+
+NodeId Netlist::find_node(const std::string& name) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? kGround - 1 : it->second;
+}
+
+void Netlist::add_resistor(NodeId a, NodeId b, double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("add_resistor: ohms <= 0");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double farads) {
+  if (farads < 0.0) throw std::invalid_argument("add_capacitor: farads < 0");
+  if (farads > 0.0) capacitors_.push_back({a, b, farads});
+}
+
+std::size_t Netlist::add_inductor(NodeId a, NodeId b, double henries) {
+  if (henries <= 0.0) throw std::invalid_argument("add_inductor: henries <= 0");
+  inductors_.push_back({a, b, henries});
+  in_kgroup_.push_back(false);
+  return inductors_.size() - 1;
+}
+
+void Netlist::set_inductance(std::size_t inductor, double henries) {
+  if (inductor >= inductors_.size())
+    throw std::out_of_range("set_inductance: bad inductor index");
+  if (henries <= 0.0)
+    throw std::invalid_argument("set_inductance: henries <= 0");
+  inductors_[inductor].henries = henries;
+}
+
+void Netlist::add_mutual(std::size_t i, std::size_t j, double henries) {
+  if (i >= inductors_.size() || j >= inductors_.size() || i == j)
+    throw std::invalid_argument("add_mutual: bad inductor indices");
+  // Passivity bound |M| <= sqrt(Li Lj) is the caller's responsibility (the
+  // whole point of Section 4 is that naive sparsification can violate the
+  // matrix-level equivalent); we only reject the trivially bad case.
+  mutuals_.push_back({i, j, henries});
+}
+
+void Netlist::add_kmatrix_group(KMatrixGroup group) {
+  for (std::size_t k : group.inductors) {
+    if (k >= inductors_.size())
+      throw std::invalid_argument("add_kmatrix_group: bad inductor index");
+    in_kgroup_[k] = true;
+  }
+  kgroups_.push_back(std::move(group));
+}
+
+std::size_t Netlist::add_vsource(NodeId a, NodeId b, Pwl waveform) {
+  vsources_.push_back({a, b, std::move(waveform)});
+  return vsources_.size() - 1;
+}
+
+std::size_t Netlist::add_isource(NodeId a, NodeId b, Pwl waveform) {
+  isources_.push_back({a, b, std::move(waveform)});
+  return isources_.size() - 1;
+}
+
+std::size_t Netlist::add_driver(SwitchedDriver driver) {
+  if (driver.pull_ohms <= 0.0)
+    throw std::invalid_argument("add_driver: pull_ohms <= 0");
+  if (driver.slew <= 0.0) throw std::invalid_argument("add_driver: slew <= 0");
+  drivers_.push_back(std::move(driver));
+  return drivers_.size() - 1;
+}
+
+bool Netlist::inductor_in_kgroup(std::size_t inductor) const {
+  return inductor < in_kgroup_.size() && in_kgroup_[inductor];
+}
+
+Netlist::Counts Netlist::counts() const {
+  Counts c;
+  c.resistors = resistors_.size();
+  c.capacitors = capacitors_.size();
+  c.inductors = inductors_.size();
+  c.mutuals = mutuals_.size();
+  for (const auto& g : kgroups_) {
+    for (const auto& e : g.entries)
+      if (e.row < e.col) ++c.mutuals;
+  }
+  return c;
+}
+
+}  // namespace ind::circuit

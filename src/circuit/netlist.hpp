@@ -1,0 +1,160 @@
+// Circuit netlist: the element container shared by every model in the repo
+// (detailed PEEC, sparsified variants, loop model, reduced-order macros).
+//
+// Supported elements map one-to-one onto the paper's Section-3 model:
+// resistors, grounded/coupling capacitors, self inductors with mutual terms,
+// K-matrix-coupled inductor groups (Section 4, [17]), independent V/I
+// sources with PWL waveforms, and switched CMOS drivers (time-varying
+// pull-up/pull-down conductances between the output and the local rails).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/sources.hpp"
+
+namespace ind::circuit {
+
+/// Node handle; kGround is the reference node (not an MNA unknown).
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+struct Resistor {
+  NodeId a = kGround, b = kGround;
+  double ohms = 0.0;
+};
+
+struct Capacitor {
+  NodeId a = kGround, b = kGround;
+  double farads = 0.0;
+};
+
+/// Inductor with its own MNA branch-current unknown; current flows a -> b.
+struct Inductor {
+  NodeId a = kGround, b = kGround;
+  double henries = 0.0;
+};
+
+/// Mutual inductance between two inductor branches (by inductor index).
+struct Mutual {
+  std::size_t i = 0, j = 0;
+  double henries = 0.0;
+};
+
+/// A group of inductors governed by a sparse K = L^-1 matrix instead of
+/// L/M values: K (v_a - v_b) = dI/dt per branch (Devgan et al., ICCAD 2000).
+/// Self terms of the group's inductors are ignored while the group is
+/// active; the K entries fully define the coupling.
+struct KMatrixGroup {
+  std::vector<std::size_t> inductors;  ///< member inductor indices
+  struct Entry {
+    std::size_t row = 0, col = 0;  ///< indices into `inductors`
+    double value = 0.0;            ///< 1/henries
+  };
+  std::vector<Entry> entries;  ///< sparse symmetric K
+};
+
+/// Independent voltage source (adds a branch current unknown), v(a)-v(b)=e(t).
+struct VSource {
+  NodeId a = kGround, b = kGround;
+  Pwl waveform;
+};
+
+/// Independent current source, current flows from a to b through the source.
+struct ISource {
+  NodeId a = kGround, b = kGround;
+  Pwl waveform;
+};
+
+/// Switched CMOS driver: pull-up conductance g_up(t) between `out` and
+/// `vdd`, pull-down g_dn(t) between `out` and `gnd`. A rising output ramps
+/// g_up from 0 to 1/R while g_dn ramps 1/R to 0 over `slew` seconds starting
+/// at `start`; both partially conduct mid-transition, producing the
+/// short-circuit current I1 of Fig. 1.
+struct SwitchedDriver {
+  NodeId out = kGround;
+  NodeId vdd = kGround;
+  NodeId gnd = kGround;
+  double pull_ohms = 30.0;
+  double slew = 50e-12;
+  double start = 0.0;
+  bool rising = true;
+  /// Fraction of the transition during which both halves conduct (around
+  /// the midpoint). 1.0 = full crossfade (maximum short-circuit current);
+  /// realistic CMOS input slopes give a short both-on window.
+  double overlap = 0.25;
+  /// The transition ramp is quantised into this many conductance plateaus so
+  /// the transient engine refactorises a bounded number of times per edge
+  /// (0 = continuous ramp, refactor every step during the slew).
+  int quantize_levels = 8;
+  std::string name;
+
+  double g_up(double t) const;
+  double g_dn(double t) const;
+  /// True if the conductances still change after time t.
+  bool settled_by(double t) const { return t >= start + slew; }
+};
+
+class Netlist {
+ public:
+  // --- nodes ---------------------------------------------------------------
+  /// Get-or-create a named node.
+  NodeId node(const std::string& name);
+  /// Fresh anonymous node.
+  NodeId make_node();
+  /// Number of non-ground nodes.
+  std::size_t num_nodes() const { return static_cast<std::size_t>(next_node_); }
+  /// Lookup only; kGround-1 (=-2) if absent.
+  NodeId find_node(const std::string& name) const;
+
+  // --- element insertion ----------------------------------------------------
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  std::size_t add_inductor(NodeId a, NodeId b, double henries);
+  /// Replaces an inductor's self value (used by sparsification schemes that
+  /// shift the diagonal, e.g. the shell method).
+  void set_inductance(std::size_t inductor, double henries);
+  void add_mutual(std::size_t i, std::size_t j, double henries);
+  void add_kmatrix_group(KMatrixGroup group);
+  std::size_t add_vsource(NodeId a, NodeId b, Pwl waveform);
+  std::size_t add_isource(NodeId a, NodeId b, Pwl waveform);
+  std::size_t add_driver(SwitchedDriver driver);
+
+  // --- element access (used by the MNA builder and benches) -----------------
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<Mutual>& mutuals() const { return mutuals_; }
+  const std::vector<KMatrixGroup>& kmatrix_groups() const { return kgroups_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<SwitchedDriver>& drivers() const { return drivers_; }
+  std::vector<SwitchedDriver>& drivers() { return drivers_; }
+
+  /// True if any inductor belongs to a K group (its self-L stamp is then
+  /// replaced by the group's K rows).
+  bool inductor_in_kgroup(std::size_t inductor) const;
+
+  /// Element-count summary (the paper's Table 1 reports exactly these).
+  struct Counts {
+    std::size_t resistors = 0, capacitors = 0, inductors = 0, mutuals = 0;
+  };
+  Counts counts() const;
+
+ private:
+  NodeId next_node_ = 0;
+  std::unordered_map<std::string, NodeId> named_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<Mutual> mutuals_;
+  std::vector<KMatrixGroup> kgroups_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<SwitchedDriver> drivers_;
+  std::vector<bool> in_kgroup_;
+};
+
+}  // namespace ind::circuit

@@ -1,0 +1,33 @@
+// SPICE deck import: the inverse of spice_export for the linear subset
+// (R, C, L, K, V, I cards with numeric or PWL/DC values). Lets users bring
+// externally extracted netlists into the analysis flows, and closes the
+// round-trip test loop on the exporter.
+//
+// Unsupported cards (models, subcircuits, behavioural sources) are counted
+// and skipped rather than rejected, so decks written by other tools load
+// with their linear backbone intact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace ind::circuit {
+
+struct SpiceImportResult {
+  Netlist netlist;
+  std::size_t parsed_cards = 0;
+  std::size_t skipped_cards = 0;  ///< unsupported element types
+};
+
+/// Parses a SPICE deck. Node "0" (and "gnd") map to the reference; other
+/// node names become named netlist nodes. Throws std::invalid_argument on
+/// malformed supported cards.
+SpiceImportResult parse_spice(std::istream& is);
+SpiceImportResult parse_spice(const std::string& deck);
+
+/// Parses a SPICE value with engineering suffix: 1k, 2.2u, 10MEG, 5n, 3p...
+double parse_spice_value(const std::string& token);
+
+}  // namespace ind::circuit

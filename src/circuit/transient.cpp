@@ -1,0 +1,213 @@
+#include "circuit/transient.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "la/lu.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace ind::circuit {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Either a dense LU or a sparse LU behind one interface.
+class Factor {
+ public:
+  void factor_dense(la::Matrix a) {
+    dense_ = std::make_unique<la::LU>(std::move(a));
+    sparse_.reset();
+  }
+  void factor_sparse(const la::CscMatrix& a) {
+    sparse_ = std::make_unique<la::SparseLu>(a);
+    dense_.reset();
+  }
+  la::Vector solve(const la::Vector& b) const {
+    return dense_ ? dense_->solve(b) : sparse_->solve(b);
+  }
+
+ private:
+  std::unique_ptr<la::LU> dense_;
+  std::unique_ptr<la::SparseLu> sparse_;
+};
+
+double probe_value(const Probe& p, const Mna& mna, const la::Vector& x,
+                   double t) {
+  const Netlist& nl = mna.netlist();
+  auto node_v = [&](NodeId n) {
+    return n >= 0 ? x[static_cast<std::size_t>(n)] : 0.0;
+  };
+  switch (p.kind) {
+    case ProbeKind::NodeVoltage:
+      return x[p.index];
+    case ProbeKind::InductorCurrent:
+      return x[mna.inductor_branch(p.index)];
+    case ProbeKind::VSourceCurrent:
+      return x[mna.vsource_branch(p.index)];
+    case ProbeKind::DriverPullUpCurrent: {
+      const SwitchedDriver& d = nl.drivers().at(p.index);
+      return d.g_up(t) * (node_v(d.vdd) - node_v(d.out));
+    }
+    case ProbeKind::DriverPullDownCurrent: {
+      const SwitchedDriver& d = nl.drivers().at(p.index);
+      return d.g_dn(t) * (node_v(d.out) - node_v(d.gnd));
+    }
+  }
+  throw std::logic_error("probe_value: unknown probe kind");
+}
+
+// Fingerprint of the driver conductance state; a refactorisation is needed
+// exactly when this changes between steps.
+std::vector<double> driver_state(const Netlist& nl, double t) {
+  std::vector<double> s;
+  s.reserve(2 * nl.drivers().size());
+  for (const SwitchedDriver& d : nl.drivers()) {
+    s.push_back(d.g_up(t));
+    s.push_back(d.g_dn(t));
+  }
+  return s;
+}
+
+}  // namespace
+
+const la::Vector& TransientResult::waveform(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return samples[i];
+  throw std::out_of_range("TransientResult::waveform: no probe named " + name);
+}
+
+TransientResult transient(const Netlist& netlist,
+                          const std::vector<Probe>& probes,
+                          const TransientOptions& options) {
+  if (options.dt <= 0.0 || options.t_stop <= 0.0)
+    throw std::invalid_argument("transient: dt and t_stop must be positive");
+
+  Mna mna(netlist);
+  const std::size_t n = mna.size();
+  if (n == 0) throw std::invalid_argument("transient: empty circuit");
+
+  la::TripletMatrix g_static_t, c_t;
+  mna.stamp_static(g_static_t, c_t);
+  const la::CscMatrix g_static(g_static_t);
+  const la::CscMatrix c_csc(c_t);
+
+  const bool dense =
+      options.solver == TransientOptions::Solver::Dense ||
+      (options.solver == TransientOptions::Solver::Auto &&
+       n <= options.dense_threshold);
+  // Dense copies are only materialised on the dense path.
+  la::Matrix g_dense, c_dense;
+  if (dense) {
+    g_dense = g_static_t.to_dense();
+    c_dense = c_t.to_dense();
+  }
+
+  TransientResult result;
+  result.unknowns = n;
+  result.used_dense = dense;
+  result.names.reserve(probes.size());
+  for (const Probe& p : probes) result.names.push_back(p.name);
+  result.samples.assign(probes.size(), {});
+
+  const double h = options.dt;
+  const double c_scale = options.backward_euler ? 1.0 / h : 2.0 / h;
+
+  Factor factor;
+  std::vector<double> factored_state;
+  auto refactor = [&](double t) {
+    const auto t0 = Clock::now();
+    if (dense) {
+      la::Matrix a = g_dense;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          a(i, j) += c_scale * c_dense(i, j);
+      la::TripletMatrix drv(n, n);
+      mna.stamp_drivers(drv, t);
+      for (const auto& e : drv.entries()) a(e.row, e.col) += e.value;
+      factor.factor_dense(std::move(a));
+    } else {
+      la::TripletMatrix a = g_static_t;
+      mna.stamp_drivers(a, t);
+      for (const auto& e : c_t.entries())
+        a.add(e.row, e.col, c_scale * e.value);
+      factor.factor_sparse(la::CscMatrix(a));
+    }
+    factored_state = driver_state(netlist, t);
+    ++result.refactor_count;
+    result.factor_seconds += seconds_since(t0);
+  };
+
+  // --- DC operating point at t = 0: G(0) x = b(0).
+  la::Vector x(n, 0.0);
+  {
+    const auto t0 = Clock::now();
+    la::Vector b0;
+    mna.rhs(0.0, b0);
+    if (dense) {
+      la::Matrix a = g_dense;
+      la::TripletMatrix drv(n, n);
+      mna.stamp_drivers(drv, 0.0);
+      for (const auto& e : drv.entries()) a(e.row, e.col) += e.value;
+      x = la::LU(std::move(a)).solve(b0);
+    } else {
+      la::TripletMatrix a = g_static_t;
+      mna.stamp_drivers(a, 0.0);
+      x = la::SparseLu(la::CscMatrix(a)).solve(b0);
+    }
+    result.step_seconds += seconds_since(t0);
+  }
+
+  const std::size_t steps =
+      static_cast<std::size_t>(std::ceil(options.t_stop / h));
+  result.time.reserve(steps + 1);
+  for (auto& s : result.samples) s.reserve(steps + 1);
+
+  auto record = [&](double t) {
+    result.time.push_back(t);
+    for (std::size_t p = 0; p < probes.size(); ++p)
+      result.samples[p].push_back(probe_value(probes[p], mna, x, t));
+  };
+  record(0.0);
+
+  refactor(h);  // matrix for the first step, at t1
+
+  la::Vector b_prev;
+  mna.rhs(0.0, b_prev);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t_prev = (k - 1) * h;
+    const double t_next = k * h;
+
+    // Refactor only if driver conductances moved since the factored state.
+    if (driver_state(netlist, t_next) != factored_state) refactor(t_next);
+
+    const auto t0 = Clock::now();
+    la::Vector b_next;
+    mna.rhs(t_next, b_next);
+
+    la::Vector y = c_csc.apply(x);
+    for (double& v : y) v *= c_scale;
+    if (options.backward_euler) {
+      for (std::size_t i = 0; i < n; ++i) y[i] += b_next[i];
+    } else {
+      // Trapezoidal: y = (2/h)C x_n - G(t_n) x_n + b_n + b_{n+1}.
+      la::Vector gx(n, 0.0);
+      mna.apply_g(g_static, t_prev, x, gx);
+      for (std::size_t i = 0; i < n; ++i)
+        y[i] += b_next[i] + b_prev[i] - gx[i];
+    }
+
+    x = factor.solve(y);
+    b_prev = std::move(b_next);
+    result.step_seconds += seconds_since(t0);
+    record(t_next);
+  }
+  return result;
+}
+
+}  // namespace ind::circuit

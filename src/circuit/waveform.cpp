@@ -1,0 +1,77 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ind::circuit {
+
+std::optional<double> crossing_time(const la::Vector& time,
+                                    const la::Vector& v, double level,
+                                    bool rising) {
+  if (time.size() != v.size())
+    throw std::invalid_argument("crossing_time: size mismatch");
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const bool crossed = rising ? (v[i - 1] < level && v[i] >= level)
+                                : (v[i - 1] > level && v[i] <= level);
+    if (!crossed) continue;
+    const double alpha = (level - v[i - 1]) / (v[i] - v[i - 1]);
+    return time[i - 1] + alpha * (time[i] - time[i - 1]);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> delay_50(const la::Vector& time, const la::Vector& v,
+                               double v_initial, double v_final) {
+  const double level = 0.5 * (v_initial + v_final);
+  return crossing_time(time, v, level, v_final > v_initial);
+}
+
+double overshoot_fraction(const la::Vector& v, double v_initial,
+                          double v_final) {
+  const double swing = std::abs(v_final - v_initial);
+  if (swing == 0.0 || v.empty()) return 0.0;
+  double worst = 0.0;
+  for (double x : v) {
+    const double beyond =
+        v_final > v_initial ? x - v_final : v_final - x;
+    worst = std::max(worst, beyond);
+  }
+  return worst / swing;
+}
+
+double peak_noise(const la::Vector& v, double nominal) {
+  double worst = 0.0;
+  for (double x : v) worst = std::max(worst, std::abs(x - nominal));
+  return worst;
+}
+
+SkewReport measure_skew(const la::Vector& time,
+                        const std::vector<la::Vector>& sink_waveforms,
+                        const std::vector<std::string>& sink_names,
+                        double v_initial, double v_final) {
+  if (sink_waveforms.size() != sink_names.size())
+    throw std::invalid_argument("measure_skew: names/waveforms mismatch");
+  if (sink_waveforms.empty())
+    throw std::invalid_argument("measure_skew: no sinks");
+  SkewReport report;
+  report.worst_delay = -std::numeric_limits<double>::infinity();
+  report.best_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sink_waveforms.size(); ++i) {
+    const auto d = delay_50(time, sink_waveforms[i], v_initial, v_final);
+    const double delay = d.value_or(std::numeric_limits<double>::infinity());
+    if (delay > report.worst_delay) {
+      report.worst_delay = delay;
+      report.worst_sink = sink_names[i];
+    }
+    if (delay < report.best_delay) {
+      report.best_delay = delay;
+      report.best_sink = sink_names[i];
+    }
+  }
+  report.skew = report.worst_delay - report.best_delay;
+  return report;
+}
+
+}  // namespace ind::circuit

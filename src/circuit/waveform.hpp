@@ -1,0 +1,49 @@
+// Waveform measurements: the quantities the paper's experiments report —
+// 50% delay, worst delay, skew across sinks, overshoot/undershoot.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+
+namespace ind::circuit {
+
+/// First time the waveform crosses `level` in the given direction
+/// (linear interpolation between samples); nullopt if it never does.
+std::optional<double> crossing_time(const la::Vector& time,
+                                    const la::Vector& v, double level,
+                                    bool rising = true);
+
+/// 50%-of-swing delay from t=0 for a rising (or falling) waveform that
+/// settles at `v_final` starting from `v_initial`.
+std::optional<double> delay_50(const la::Vector& time, const la::Vector& v,
+                               double v_initial, double v_final);
+
+/// Peak overshoot above the settled value, as a fraction of the swing
+/// (0 when the waveform never exceeds v_final).
+double overshoot_fraction(const la::Vector& v, double v_initial,
+                          double v_final);
+
+/// Maximum absolute deviation of the waveform from `nominal` — the noise
+/// metric used for victim nets in the crosstalk experiments.
+double peak_noise(const la::Vector& v, double nominal);
+
+struct SkewReport {
+  double worst_delay = 0.0;
+  double best_delay = 0.0;
+  double skew = 0.0;  ///< worst - best
+  std::string worst_sink;
+  std::string best_sink;
+};
+
+/// Delay/skew across a set of sink waveforms (all assumed to share the
+/// same time axis and initial/final levels). Sinks that never cross 50%
+/// are reported with infinite delay.
+SkewReport measure_skew(const la::Vector& time,
+                        const std::vector<la::Vector>& sink_waveforms,
+                        const std::vector<std::string>& sink_names,
+                        double v_initial, double v_final);
+
+}  // namespace ind::circuit

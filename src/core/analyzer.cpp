@@ -1,0 +1,266 @@
+#include "core/analyzer.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/waveform.hpp"
+#include "mor/hierarchical.hpp"
+#include "mor/prima.hpp"
+#include "mor/reduced_model.hpp"
+#include "sparsify/block_diagonal.hpp"
+#include "sparsify/halo.hpp"
+#include "sparsify/kmatrix.hpp"
+#include "sparsify/mutual_spec.hpp"
+#include "sparsify/shell.hpp"
+#include "sparsify/truncation.hpp"
+
+namespace ind::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void measure_sinks(AnalysisReport& report, double vdd) {
+  if (report.sink_waveforms.empty()) return;
+  const circuit::SkewReport skew = circuit::measure_skew(
+      report.time, report.sink_waveforms, report.sink_names, 0.0, vdd);
+  report.worst_delay = skew.worst_delay;
+  report.best_delay = skew.best_delay;
+  report.skew = skew.skew;
+  report.worst_sink = skew.worst_sink;
+  for (const la::Vector& w : report.sink_waveforms)
+    report.overshoot =
+        std::max(report.overshoot, circuit::overshoot_fraction(w, 0.0, vdd));
+}
+
+sparsify::SparsifiedL run_sparsifier(const AnalysisOptions& opts,
+                                     const peec::PeecModel& model) {
+  const auto& segs = model.layout.segments();
+  const la::Matrix& l = model.extraction.partial_l;
+  switch (opts.flow) {
+    case Flow::PeecRlcTruncated:
+      return sparsify::truncate(l, opts.params.truncation_ratio);
+    case Flow::PeecRlcBlockDiag:
+      return sparsify::block_diagonal(
+          l, sparsify::sections_by_strip(segs, opts.params.block_axis,
+                                         opts.params.block_strip_width));
+    case Flow::PeecRlcShell:
+      return sparsify::shell(segs, opts.params.shell_radius);
+    case Flow::PeecRlcHalo:
+      return sparsify::halo(segs, l);
+    case Flow::PeecRlcKMatrix:
+      return sparsify::kmatrix_sparsify(l, opts.params.kmatrix_ratio);
+    default:
+      throw std::logic_error("run_sparsifier: not a sparsifying flow");
+  }
+}
+
+AnalysisReport analyze_prima(const geom::Layout& layout,
+                             const AnalysisOptions& opts) {
+  AnalysisReport report;
+  report.flow = opts.flow;
+  const auto t_build = Clock::now();
+
+  peec::PeecOptions popts = opts.peec;
+  popts.rc_only = false;
+  popts.mutual_policy = opts.params.prima_on_block_diagonal
+                            ? peec::PeecOptions::MutualPolicy::None
+                            : peec::PeecOptions::MutualPolicy::Full;
+  peec::PeecModel model = peec::build_peec_model(layout, popts);
+  if (opts.params.prima_on_block_diagonal) {
+    const sparsify::SparsifiedL spec = sparsify::block_diagonal(
+        model.extraction.partial_l,
+        sparsify::sections_by_strip(model.layout.segments(),
+                                    opts.params.block_axis,
+                                    opts.params.block_strip_width));
+    sparsify::apply_to_netlist(spec, model.netlist, model.seg_inductor);
+  }
+  report.counts = model.counts();
+
+  // Input matrix B: independent sources first, then driver ports. The
+  // drivers stay outside the macromodel (active-port co-simulation of [4]).
+  const circuit::Mna mna(model.netlist);
+  const std::size_t n = mna.size();
+  const auto& nl = model.netlist;
+
+  std::vector<circuit::Pwl> src_waveforms;
+  std::vector<std::pair<circuit::NodeId, circuit::NodeId>> isource_nodes;
+  std::size_t n_src = nl.vsources().size() + nl.isources().size();
+
+  // Driver port nodes, deduplicated.
+  std::vector<circuit::NodeId> port_nodes;
+  auto port_index = [&](circuit::NodeId node) -> std::size_t {
+    if (node < 0) return mor::kGroundPort;
+    for (std::size_t k = 0; k < port_nodes.size(); ++k)
+      if (port_nodes[k] == node) return k;
+    port_nodes.push_back(node);
+    return port_nodes.size() - 1;
+  };
+  std::vector<mor::CosimDriver> cosim_drivers;
+  for (const circuit::SwitchedDriver& d : nl.drivers()) {
+    mor::CosimDriver cd;
+    cd.out_port = port_index(d.out);
+    cd.vdd_port = port_index(d.vdd);
+    cd.gnd_port = port_index(d.gnd);
+    cd.dynamics = d;
+    cosim_drivers.push_back(cd);
+  }
+
+  la::Matrix b(n, n_src + port_nodes.size());
+  std::size_t col = 0;
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k, ++col) {
+    b(mna.vsource_branch(k), col) = 1.0;
+    src_waveforms.push_back(nl.vsources()[k].waveform);
+  }
+  for (const circuit::ISource& src : nl.isources()) {
+    if (src.a >= 0) b(static_cast<std::size_t>(src.a), col) = -1.0;
+    if (src.b >= 0) b(static_cast<std::size_t>(src.b), col) = 1.0;
+    src_waveforms.push_back(src.waveform);
+    ++col;
+  }
+  for (circuit::NodeId node : port_nodes)
+    b(static_cast<std::size_t>(node), col++) = 1.0;
+
+  // Outputs: the sink observation nodes (passive sinks of [4]).
+  la::Matrix l_out(n, model.receiver_probes.size());
+  for (std::size_t m = 0; m < model.receiver_probes.size(); ++m)
+    l_out(model.receiver_probes[m].index, m) = 1.0;
+
+  // G, C without driver conductances.
+  const circuit::DenseSystem sys =
+      circuit::build_dense_system(model.netlist, {}, /*driver_time=*/-1.0);
+
+  mor::ReducedModel reduced;
+  if (opts.flow == Flow::PeecRlcHier) {
+    // Block id per MNA unknown from geometry: strips along the block axis.
+    // Branch currents follow their element's position; voltage-source
+    // branches stay global.
+    std::vector<int> block_of(n, -1);
+    auto strip_of = [&](const geom::Point& p) {
+      const double coord =
+          opts.params.block_axis == geom::Axis::X ? p.x : p.y;
+      return static_cast<int>(
+          std::floor(coord / opts.params.hier_strip_width));
+    };
+    for (std::size_t node = 0; node < model.nodes.size(); ++node)
+      block_of[node] = strip_of(model.nodes[node].at);
+    for (std::size_t seg = 0; seg < model.seg_inductor.size(); ++seg)
+      if (model.seg_inductor[seg] != peec::kNoInductor)
+        block_of[mna.inductor_branch(model.seg_inductor[seg])] =
+            strip_of(model.layout.segments()[seg].center());
+    mor::HierarchicalOptions hopts;
+    hopts.order_per_block = opts.params.hier_order_per_block;
+    mor::HierarchicalResult hier = mor::hierarchical_reduce(
+        sys.g, sys.c, b, l_out, std::move(block_of), hopts);
+    reduced = std::move(hier.model);
+  } else {
+    mor::PrimaOptions prima_opts;
+    prima_opts.max_order = opts.params.prima_order;
+    reduced = mor::prima_reduce(sys.g, sys.c, b, l_out, prima_opts);
+  }
+  report.build_seconds = seconds_since(t_build);
+  report.unknowns = n;
+  report.reduced_order = reduced.order();
+
+  const auto t_solve = Clock::now();
+  mor::CosimInputs inputs;
+  inputs.source_waveforms = std::move(src_waveforms);
+  inputs.drivers = std::move(cosim_drivers);
+  mor::CosimOptions copts;
+  copts.t_stop = opts.transient.t_stop;
+  copts.dt = opts.transient.dt;
+  const mor::CosimResult res = mor::simulate_reduced(reduced, inputs, copts);
+  report.solve_seconds = seconds_since(t_solve);
+
+  report.time = res.time;
+  report.sink_waveforms = res.outputs;
+  report.sink_names = model.receiver_names;
+  measure_sinks(report, model.vdd_volts);
+  return report;
+}
+
+AnalysisReport analyze_loop(const geom::Layout& layout,
+                            const AnalysisOptions& opts) {
+  if (opts.signal_net < 0)
+    throw std::invalid_argument("analyze: LoopRlc needs signal_net");
+  AnalysisReport report;
+  report.flow = opts.flow;
+
+  const auto t_build = Clock::now();
+  const loop::LoopModel model =
+      loop::build_loop_model(layout, opts.signal_net, opts.loop);
+  report.build_seconds = seconds_since(t_build);
+  report.counts = model.netlist.counts();
+
+  const auto t_solve = Clock::now();
+  const circuit::TransientResult res =
+      circuit::transient(model.netlist, model.receiver_probes, opts.transient);
+  report.solve_seconds = seconds_since(t_solve);
+
+  report.unknowns = res.unknowns;
+  report.time = res.time;
+  report.sink_waveforms = res.samples;
+  report.sink_names = model.receiver_names;
+  measure_sinks(report, model.vdd_volts);
+  return report;
+}
+
+}  // namespace
+
+const char* flow_name(Flow flow) {
+  switch (flow) {
+    case Flow::PeecRc: return "PEEC (RC)";
+    case Flow::PeecRlcFull: return "PEEC (RLC)";
+    case Flow::PeecRlcTruncated: return "PEEC (RLC, truncated)";
+    case Flow::PeecRlcBlockDiag: return "PEEC (RLC, block-diag)";
+    case Flow::PeecRlcShell: return "PEEC (RLC, shell)";
+    case Flow::PeecRlcHalo: return "PEEC (RLC, halo)";
+    case Flow::PeecRlcKMatrix: return "PEEC (RLC, K-matrix)";
+    case Flow::PeecRlcPrima: return "PEEC (RLC, PRIMA)";
+    case Flow::PeecRlcHier: return "PEEC (RLC, hierarchical)";
+    case Flow::LoopRlc: return "LOOP (RLC)";
+  }
+  return "?";
+}
+
+AnalysisReport analyze(const geom::Layout& layout,
+                       const AnalysisOptions& opts) {
+  if (opts.flow == Flow::PeecRlcPrima || opts.flow == Flow::PeecRlcHier)
+    return analyze_prima(layout, opts);
+  if (opts.flow == Flow::LoopRlc) return analyze_loop(layout, opts);
+
+  AnalysisReport report;
+  report.flow = opts.flow;
+
+  const auto t_build = Clock::now();
+  peec::PeecOptions popts = opts.peec;
+  popts.rc_only = opts.flow == Flow::PeecRc;
+  popts.mutual_policy = opts.flow == Flow::PeecRlcFull
+                            ? peec::PeecOptions::MutualPolicy::Full
+                            : peec::PeecOptions::MutualPolicy::None;
+  peec::PeecModel model = peec::build_peec_model(layout, popts);
+  if (opts.flow != Flow::PeecRc && opts.flow != Flow::PeecRlcFull) {
+    const sparsify::SparsifiedL spec = run_sparsifier(opts, model);
+    sparsify::apply_to_netlist(spec, model.netlist, model.seg_inductor);
+  }
+  report.build_seconds = seconds_since(t_build);
+  report.counts = model.counts();
+
+  const auto t_solve = Clock::now();
+  const circuit::TransientResult res =
+      circuit::transient(model.netlist, model.receiver_probes, opts.transient);
+  report.solve_seconds = seconds_since(t_solve);
+
+  report.unknowns = res.unknowns;
+  report.time = res.time;
+  report.sink_waveforms = res.samples;
+  report.sink_names = model.receiver_names;
+  measure_sinks(report, model.vdd_volts);
+  return report;
+}
+
+}  // namespace ind::core

@@ -1,0 +1,91 @@
+// InductanceAnalyzer: the top-level flows of the paper behind one call.
+//
+//   Flow::PeecRc            — Table 1 "PEEC (RC)": no inductance at all
+//   Flow::PeecRlcFull       — Table 1 "PEEC (RLC)": full partial mutuals
+//   Flow::PeecRlcTruncated  — Section 4 truncation (unstable baseline)
+//   Flow::PeecRlcBlockDiag  — Section 4 block-diagonal sparsification
+//   Flow::PeecRlcShell      — Section 4 shell (shift-truncate)
+//   Flow::PeecRlcHalo       — Section 4 halo / return-limited
+//   Flow::PeecRlcKMatrix    — Section 4 K = L^-1 element
+//   Flow::PeecRlcPrima      — Section 4 combined flow [4]: PRIMA + driver
+//                             co-simulation (optionally on a block-diagonal
+//                             sparsified model)
+//   Flow::LoopRlc           — Section 5 loop-inductance model
+//
+// Every flow returns an AnalysisReport with the Table-1 columns: element
+// counts, worst delay, worst skew, and run-time split into model-build and
+// simulation phases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/transient.hpp"
+#include "geom/layout.hpp"
+#include "loop/loop_model.hpp"
+#include "peec/model_builder.hpp"
+
+namespace ind::core {
+
+enum class Flow {
+  PeecRc,
+  PeecRlcFull,
+  PeecRlcTruncated,
+  PeecRlcBlockDiag,
+  PeecRlcShell,
+  PeecRlcHalo,
+  PeecRlcKMatrix,
+  PeecRlcPrima,
+  PeecRlcHier,  ///< Section 4 hierarchical models [16]: global nodes + per-block reduction
+  LoopRlc,
+};
+
+const char* flow_name(Flow flow);
+
+struct FlowParams {
+  double truncation_ratio = 0.05;            ///< |M| >= r sqrt(Li Lj) kept
+  double block_strip_width = geom::um(150.0);
+  geom::Axis block_axis = geom::Axis::Y;     ///< strip direction for sections
+  double shell_radius = geom::um(60.0);
+  double kmatrix_ratio = 0.02;               ///< K-entry keep threshold
+  std::size_t prima_order = 32;
+  bool prima_on_block_diagonal = true;       ///< the combined technique of [4]
+  std::size_t hier_order_per_block = 8;      ///< hierarchical flow
+  double hier_strip_width = geom::um(150.0); ///< hierarchical block size
+};
+
+struct AnalysisOptions {
+  Flow flow = Flow::PeecRlcFull;
+  int signal_net = -1;  ///< required for Flow::LoopRlc
+  peec::PeecOptions peec{};
+  loop::LoopModelOptions loop{};
+  circuit::TransientOptions transient{};
+  FlowParams params{};
+};
+
+struct AnalysisReport {
+  Flow flow = Flow::PeecRlcFull;
+  circuit::Netlist::Counts counts;
+  std::size_t unknowns = 0;        ///< MNA size (or reduced order for PRIMA)
+  std::size_t reduced_order = 0;   ///< PRIMA only
+
+  double worst_delay = 0.0;        ///< seconds
+  double best_delay = 0.0;
+  double skew = 0.0;
+  std::string worst_sink;
+  double overshoot = 0.0;          ///< worst sink overshoot fraction
+
+  double build_seconds = 0.0;      ///< extraction + model construction
+  double solve_seconds = 0.0;      ///< transient simulation
+  double total_seconds() const { return build_seconds + solve_seconds; }
+
+  la::Vector time;                           ///< transient time axis
+  std::vector<la::Vector> sink_waveforms;    ///< per sink
+  std::vector<std::string> sink_names;
+};
+
+/// Runs one flow on a layout whose drivers/receivers define the experiment.
+AnalysisReport analyze(const geom::Layout& layout,
+                       const AnalysisOptions& options);
+
+}  // namespace ind::core

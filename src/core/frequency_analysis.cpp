@@ -1,0 +1,66 @@
+#include "core/frequency_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+
+namespace ind::core {
+
+std::vector<loop::LoopImpedance> peec_port_impedance(
+    const geom::Layout& layout, int signal_net,
+    const std::vector<double>& frequencies, const PeecPortOptions& opts) {
+  peec::PeecModel model = peec::build_peec_model(layout, opts.peec);
+
+  // Locate the port: driver output node and its local ground.
+  const geom::Driver* driver = nullptr;
+  for (const geom::Driver& d : model.layout.drivers())
+    if (d.signal_net == signal_net) {
+      driver = &d;
+      break;
+    }
+  if (!driver)
+    throw std::invalid_argument("peec_port_impedance: net has no driver");
+
+  circuit::NodeId out = circuit::kGround;
+  // The driver's out node was resolved during the build; find it through
+  // the netlist driver that carries the same name.
+  for (const circuit::SwitchedDriver& d : model.netlist.drivers())
+    if (d.name == driver->name) out = d.out;
+  if (out < 0)
+    throw std::runtime_error("peec_port_impedance: driver node not found");
+  const circuit::NodeId gnd_local =
+      model.nearest_node(driver->at, geom::NetKind::Ground);
+
+  // Remove the switching behaviour: the port sees the passive network.
+  model.netlist.drivers().clear();
+
+  if (opts.short_receivers) {
+    for (std::size_t r = 0; r < model.receiver_probes.size(); ++r) {
+      const auto pin =
+          static_cast<circuit::NodeId>(model.receiver_probes[r].index);
+      const circuit::NodeId g = model.nearest_node(
+          model.nodes[static_cast<std::size_t>(pin)].at,
+          geom::NetKind::Ground);
+      if (g >= 0 && g != pin) model.netlist.add_resistor(pin, g, 1e-3);
+    }
+  }
+
+  // Unit AC current into the port.
+  const std::size_t src =
+      model.netlist.add_isource(gnd_local, out, circuit::Pwl::constant(0.0));
+
+  std::vector<loop::LoopImpedance> sweep;
+  sweep.reserve(frequencies.size());
+  for (const double f : frequencies) {
+    const double omega = 2.0 * M_PI * f;
+    const circuit::AcResult res = circuit::ac_solve(
+        model.netlist, {circuit::AcExcitation::Kind::ISource, src}, omega);
+    const la::Complex z =
+        res.node_voltage(out) - res.node_voltage(gnd_local);
+    sweep.push_back({f, z.real(), z.imag() / omega});
+  }
+  return sweep;
+}
+
+}  // namespace ind::core

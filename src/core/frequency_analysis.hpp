@@ -1,0 +1,34 @@
+// Frequency-domain port characterisation of the detailed PEEC model.
+//
+// Fig. 3(b) of the paper plots loop R and L vs frequency twice: once from
+// the conductor-only loop extraction (FastHenry-style, loop/) and once from
+// the full PEEC model, whose interconnect and device capacitance changes
+// where the return current actually flows. This module produces the PEEC
+// curve: an AC current is injected at the driver port of the *complete*
+// detailed model (grid, caps, decap, package) and the measured impedance is
+// decomposed into effective R(f) and L(f).
+#pragma once
+
+#include <vector>
+
+#include "loop/mqs_solver.hpp"
+#include "peec/model_builder.hpp"
+
+namespace ind::core {
+
+struct PeecPortOptions {
+  peec::PeecOptions peec{};
+  /// Tie each receiver pin to its local ground (mirrors the loop-extraction
+  /// setup so the two curves are comparable); the tie is a milli-ohm.
+  bool short_receivers = true;
+};
+
+/// Effective port impedance of `signal_net` in the full PEEC model at each
+/// frequency: R = Re Z, L = Im Z / w. Negative Im Z (capacitive phase, past
+/// resonance) yields negative L values — exactly the divergence from the
+/// conductor-only curve the paper highlights.
+std::vector<loop::LoopImpedance> peec_port_impedance(
+    const geom::Layout& layout, int signal_net,
+    const std::vector<double>& frequencies, const PeecPortOptions& opts = {});
+
+}  // namespace ind::core

@@ -1,0 +1,77 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace ind::core {
+
+std::string format_ps(double seconds) {
+  if (!std::isfinite(seconds)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fps", seconds * 1e12);
+  return buf;
+}
+
+std::string format_count(std::size_t n) {
+  char buf[32];
+  if (n >= 1000000000)
+    std::snprintf(buf, sizeof buf, "%.1fG", static_cast<double>(n) * 1e-9);
+  else if (n >= 1000000)
+    std::snprintf(buf, sizeof buf, "%.1fM", static_cast<double>(n) * 1e-6);
+  else if (n >= 1000)
+    std::snprintf(buf, sizeof buf, "%.0fk", static_cast<double>(n) * 1e-3);
+  else
+    std::snprintf(buf, sizeof buf, "%zu", n);
+  return buf;
+}
+
+std::string format_runtime(double seconds) {
+  char buf[32];
+  if (seconds >= 60.0)
+    std::snprintf(buf, sizeof buf, "%.1f min.", seconds / 60.0);
+  else
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  return buf;
+}
+
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+std::vector<std::string> table1_header() {
+  return {"Model",      "Num. of R", "Num. of C", "Num. of L", "# mutuals",
+          "Worst delay", "Worst skew", "Run-time"};
+}
+
+std::vector<std::string> table1_row(const AnalysisReport& report) {
+  const auto& c = report.counts;
+  return {flow_name(report.flow),
+          format_count(c.resistors),
+          format_count(c.capacitors),
+          c.inductors ? format_count(c.inductors) : "-",
+          c.mutuals ? format_count(c.mutuals) : "-",
+          format_ps(report.worst_delay),
+          format_ps(report.skew),
+          format_runtime(report.total_seconds())};
+}
+
+}  // namespace ind::core

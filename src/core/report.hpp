@@ -1,0 +1,32 @@
+// Table formatting helpers shared by the benches and examples: the goal is
+// output that reads like the paper's own tables (Table 1 reports counts as
+// "220k", delays in ps, run-times in minutes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace ind::core {
+
+/// 86e-12 -> "86ps"; infinity -> "-".
+std::string format_ps(double seconds);
+
+/// 219847 -> "220k"; 14.6e9 -> "15G".
+std::string format_count(std::size_t n);
+
+/// 2712.4 -> "45 min."; 4.2 -> "4.2s".
+std::string format_runtime(double seconds);
+
+/// Fixed-width table printer (column widths from the widest cell).
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// One Table-1-style row for a report.
+std::vector<std::string> table1_row(const AnalysisReport& report);
+
+/// The matching header.
+std::vector<std::string> table1_header();
+
+}  // namespace ind::core

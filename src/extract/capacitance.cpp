@@ -1,0 +1,48 @@
+#include "extract/capacitance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ind::extract {
+
+double ground_cap_per_length(double w, double t, double h, double eps_r) {
+  if (w <= 0 || t <= 0 || h <= 0)
+    throw std::invalid_argument("ground_cap_per_length: non-positive geometry");
+  const double eps = geom::kEps0 * eps_r;
+  return eps * (1.15 * (w / h) + 2.80 * std::pow(t / h, 0.222));
+}
+
+double coupling_cap_per_length(double w, double t, double s, double h,
+                               double eps_r) {
+  if (w <= 0 || t <= 0 || h <= 0 || s <= 0)
+    throw std::invalid_argument(
+        "coupling_cap_per_length: non-positive geometry");
+  const double eps = geom::kEps0 * eps_r;
+  const double body =
+      0.03 * (w / h) + 0.83 * (t / h) - 0.07 * std::pow(t / h, 0.222);
+  return eps * std::max(body, 0.01 * t / h) * std::pow(s / h, -1.34);
+}
+
+double segment_ground_cap(const geom::Segment& s,
+                          const geom::Technology& tech) {
+  const geom::Layer& layer = tech.layer(s.layer);
+  const double h = layer.z_bottom - tech.substrate_z;
+  return ground_cap_per_length(s.width, s.thickness, h, tech.epsilon_r) *
+         s.length();
+}
+
+double segment_coupling_cap(const geom::Segment& a, const geom::Segment& b,
+                            const geom::Technology& tech) {
+  if (a.layer != b.layer) return 0.0;
+  const auto g = geom::parallel_geometry(a, b);
+  if (!g || g->overlap <= 0.0) return 0.0;
+  const double spacing = geom::edge_spacing(a, b);
+  if (spacing <= 0.0) return 0.0;  // touching/overlapping metal: same node
+  const geom::Layer& layer = tech.layer(a.layer);
+  const double h = layer.z_bottom - tech.substrate_z;
+  const double w = 0.5 * (a.width + b.width);
+  return coupling_cap_per_length(w, a.thickness, spacing, h, tech.epsilon_r) *
+         g->overlap;
+}
+
+}  // namespace ind::extract

@@ -1,0 +1,36 @@
+// Chern-style interconnect capacitance models (Section 3: "ground and
+// coupling capacitances for the interconnect are computed using Chern [8]
+// models or commercial extraction tools").
+//
+// Substitution note (DESIGN.md): we implement the same functional family —
+// parallel-plate area term plus power-law fringe/coupling corrections fitted
+// for multilevel metal — with coefficients representative of a c.-2000
+// process. The closed forms below follow the widely used Sakurai-Tamaru /
+// Chern fits.
+#pragma once
+
+#include "geom/layout.hpp"
+
+namespace ind::extract {
+
+/// Capacitance per metre of a wire of width `w`, thickness `t` at height `h`
+/// over the reference plane:
+///   C/l = eps [ 1.15 (w/h) + 2.80 (t/h)^0.222 ].
+double ground_cap_per_length(double w, double t, double h, double eps_r);
+
+/// Lateral coupling capacitance per metre between two parallel wires of
+/// thickness `t`, width `w`, edge spacing `s`, at height `h`:
+///   Cc/l = eps [ 0.03 (w/h) + 0.83 (t/h) - 0.07 (t/h)^0.222 ] (s/h)^-1.34.
+double coupling_cap_per_length(double w, double t, double s, double h,
+                               double eps_r);
+
+/// Total ground capacitance (farads) of a segment, using its height above
+/// the substrate as the reference-plane distance.
+double segment_ground_cap(const geom::Segment& s, const geom::Technology& tech);
+
+/// Total lateral coupling capacitance (farads) between two same-layer
+/// parallel segments over their axial overlap.
+double segment_coupling_cap(const geom::Segment& a, const geom::Segment& b,
+                            const geom::Technology& tech);
+
+}  // namespace ind::extract

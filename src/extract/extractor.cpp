@@ -1,0 +1,33 @@
+#include "extract/extractor.hpp"
+
+namespace ind::extract {
+
+Extraction extract(const geom::Layout& layout, const ExtractionOptions& opts) {
+  Extraction out;
+  const auto& segs = layout.segments();
+  const auto& tech = layout.tech();
+
+  out.resistance.reserve(segs.size());
+  out.ground_cap.reserve(segs.size());
+  for (const geom::Segment& s : segs) {
+    out.resistance.push_back(segment_resistance(s, tech));
+    out.ground_cap.push_back(segment_ground_cap(s, tech));
+  }
+
+  if (opts.extract_inductance)
+    out.partial_l =
+        build_partial_inductance_matrix(segs, {.window = opts.mutual_window});
+
+  for (const auto& [i, j] : layout.adjacent_pairs(opts.coupling_window)) {
+    const double c = segment_coupling_cap(segs[i], segs[j], tech);
+    if (c > 0.0) out.coupling.push_back({i, j, c});
+  }
+
+  out.via_resistance.reserve(layout.vias().size());
+  for (const geom::Via& v : layout.vias())
+    out.via_resistance.push_back(via_resistance(v, tech));
+
+  return out;
+}
+
+}  // namespace ind::extract

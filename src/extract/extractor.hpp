@@ -1,0 +1,57 @@
+// One-stop parasitic extraction of a Layout: per-segment R / C-to-ground,
+// the dense partial-inductance matrix, lateral coupling capacitances, and
+// via resistances — the raw material for the PEEC model builder (peec/) and
+// the sparsification schemes (sparsify/).
+#pragma once
+
+#include <vector>
+
+#include "extract/capacitance.hpp"
+#include "extract/partial_inductance.hpp"
+#include "extract/resistance.hpp"
+#include "geom/layout.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace ind::extract {
+
+struct ExtractionOptions {
+  /// Max centre distance for mutual-inductance computation. The *full* PEEC
+  /// model uses an effectively unbounded window ("mutual inductances between
+  /// all pairs of parallel segments"); sparsification schemes shrink this
+  /// downstream.
+  double mutual_window = 1e9;
+  /// Max edge spacing for lateral coupling capacitance ("coupling
+  /// capacitance between all pairs of adjacent lines").
+  double coupling_window = geom::um(5.0);
+  /// Skip the (quadratic-cost) partial-inductance matrix entirely — used by
+  /// the RC-only comparison model, which has no inductive elements.
+  bool extract_inductance = true;
+};
+
+struct CouplingCap {
+  std::size_t i = 0, j = 0;  ///< segment indices
+  double value = 0.0;        ///< farads
+};
+
+struct Extraction {
+  std::vector<double> resistance;      ///< ohms, per segment
+  std::vector<double> ground_cap;      ///< farads, per segment
+  la::Matrix partial_l;                ///< henries, dense symmetric
+  std::vector<CouplingCap> coupling;   ///< lateral C between adjacent pairs
+  std::vector<double> via_resistance;  ///< ohms, per via (layout order)
+
+  std::size_t num_mutual_terms() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < partial_l.rows(); ++i)
+      for (std::size_t j = i + 1; j < partial_l.cols(); ++j)
+        if (partial_l(i, j) != 0.0) ++count;
+    return count;
+  }
+};
+
+/// Extracts all parasitics of `layout` (whose segments should already be
+/// subdivided to the desired model granularity).
+Extraction extract(const geom::Layout& layout,
+                   const ExtractionOptions& opts = {});
+
+}  // namespace ind::extract

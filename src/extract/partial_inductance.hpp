@@ -1,0 +1,55 @@
+// Partial self- and mutual-inductance of rectangular conductors.
+//
+// Section 3 of the paper: "The partial self and mutual inductances are
+// computed using analytical formulae [9][10][11]" — i.e. the classical
+// Grover / Hoer-Love / geometric-mean-distance results for rectangular
+// bars. These formulas ignore skin effect, so very wide conductors must be
+// split into narrower filaments first (see extract/skin.hpp).
+#pragma once
+
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace ind::extract {
+
+/// Partial self-inductance (henries) of a rectangular bar of length `len`,
+/// width `w`, thickness `t` (metres). Ruehli's form of Grover's formula:
+///   L = (mu0 l / 2pi) [ ln(2l/(w+t)) + 1/2 + 0.2235 (w+t)/l ].
+double self_partial_inductance(double len, double w, double t);
+
+/// Geometric mean distance of a rectangular cross-section from itself,
+/// GMD = 0.2235 (w + t): the equivalent filament spacing that reproduces the
+/// bar's internal flux in the filament formula.
+double self_gmd(double w, double t);
+
+/// Mutual partial inductance (henries) between two parallel filaments:
+/// lengths l1, l2, axial gap s between facing ends (negative when the spans
+/// overlap), and geometric-mean distance d between the cross-sections.
+/// Grover's end-point decomposition:
+///   4pi/mu0 * M = F(l1+l2+s) - F(l1+s) - F(l2+s) + F(s),
+///   F(x) = x asinh(x/d) - sqrt(x^2 + d^2).
+double mutual_partial_inductance(double l1, double l2, double axial_gap,
+                                 double gmd);
+
+/// Mutual partial inductance between two parallel segments, signed by their
+/// current orientation (currents defined from node a to node b): segments
+/// pointing in opposite directions get a negative entry. Returns 0 for
+/// orthogonal segments.
+double mutual_between(const geom::Segment& s, const geom::Segment& t);
+
+struct PartialMatrixOptions {
+  /// Mutual terms between segments with centre distance beyond this window
+  /// are not computed (set to infinity for the exact dense matrix).
+  double window = 1e9;
+};
+
+/// Full partial-inductance matrix over `segments` (dense, symmetric, PSD for
+/// physical geometries). Diagonal entries use the self formula, off-diagonal
+/// entries the signed mutual.
+la::Matrix build_partial_inductance_matrix(
+    const std::vector<geom::Segment>& segments,
+    const PartialMatrixOptions& opts = {});
+
+}  // namespace ind::extract

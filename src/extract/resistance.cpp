@@ -1,0 +1,23 @@
+#include "extract/resistance.hpp"
+
+#include <stdexcept>
+
+namespace ind::extract {
+
+double segment_resistance(const geom::Segment& s,
+                          const geom::Technology& tech) {
+  if (s.width <= 0.0)
+    throw std::invalid_argument("segment_resistance: width must be positive");
+  const geom::Layer& layer = tech.layer(s.layer);
+  return layer.sheet_resistance * s.length() / s.width;
+}
+
+double via_resistance(const geom::Via& v, const geom::Technology& tech) {
+  const int spans = v.upper_layer - v.lower_layer;
+  if (spans < 1)
+    throw std::invalid_argument("via_resistance: degenerate via");
+  if (v.cuts < 1) throw std::invalid_argument("via_resistance: cuts < 1");
+  return tech.via_resistance * spans / v.cuts;
+}
+
+}  // namespace ind::extract

@@ -1,0 +1,18 @@
+// DC resistance extraction (Section 3: "The resistance is frequency
+// independent and is computed as a function of geometry and sheet
+// resistance"). Frequency-dependent resistance emerges downstream from
+// filament splitting (extract/skin.hpp) plus the MQS solve in loop/.
+#pragma once
+
+#include "geom/layout.hpp"
+
+namespace ind::extract {
+
+/// Sheet-resistance model: R = rho_sheet * length / width.
+double segment_resistance(const geom::Segment& s, const geom::Technology& tech);
+
+/// Via stack resistance: per-cut technology resistance divided by the number
+/// of parallel cuts, accumulated over the spanned layer pairs.
+double via_resistance(const geom::Via& v, const geom::Technology& tech);
+
+}  // namespace ind::extract

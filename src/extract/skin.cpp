@@ -1,0 +1,63 @@
+#include "extract/skin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ind::extract {
+
+double skin_depth(double rho_ohm_m, double freq_hz) {
+  return std::sqrt(rho_ohm_m / (M_PI * freq_hz * geom::kMu0));
+}
+
+std::vector<geom::Segment> split_for_skin(const geom::Segment& s,
+                                          const SkinSplitOptions& opts) {
+  const int nw = std::clamp(
+      static_cast<int>(std::ceil(s.width / opts.max_width)), 1,
+      opts.max_filaments_per_axis);
+  const int nt = std::clamp(
+      static_cast<int>(std::ceil(s.thickness / opts.max_thickness)), 1,
+      opts.max_filaments_per_axis);
+
+  std::vector<geom::Segment> out;
+  out.reserve(static_cast<std::size_t>(nw) * nt);
+  const double fw = s.width / nw;
+  const double ft = s.thickness / nt;
+  const bool along_x = s.axis() == geom::Axis::X;
+
+  for (int iw = 0; iw < nw; ++iw) {
+    // Offset of this filament's centre from the parent centre-line.
+    const double lateral = (iw - 0.5 * (nw - 1)) * fw;
+    for (int it = 0; it < nt; ++it) {
+      const double vertical = (it - 0.5 * (nt - 1)) * ft;
+      geom::Segment f = s;
+      f.width = fw;
+      f.thickness = ft;
+      f.z = s.z + vertical;
+      if (along_x) {
+        f.a.y += lateral;
+        f.b.y += lateral;
+      } else {
+        f.a.x += lateral;
+        f.b.x += lateral;
+      }
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::vector<geom::Segment> split_all(const std::vector<geom::Segment>& in,
+                                     std::vector<std::size_t>& parent_of,
+                                     const SkinSplitOptions& opts) {
+  std::vector<geom::Segment> out;
+  parent_of.clear();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (geom::Segment& f : split_for_skin(in[i], opts)) {
+      out.push_back(f);
+      parent_of.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace ind::extract

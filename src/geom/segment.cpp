@@ -1,0 +1,36 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+
+namespace ind::geom {
+
+std::optional<ParallelGeometry> parallel_geometry(const Segment& s,
+                                                  const Segment& t) {
+  if (s.axis() != t.axis()) return std::nullopt;
+  ParallelGeometry g;
+  g.length_i = s.length();
+  g.length_j = t.length();
+  const double s_lo = s.lo(), s_hi = s.hi();
+  const double t_lo = t.lo(), t_hi = t.hi();
+  // Axial gap between nearest ends; negative when the spans overlap.
+  g.axial_gap = std::max(s_lo, t_lo) - std::min(s_hi, t_hi);
+  g.overlap = std::max(0.0, -g.axial_gap);
+  g.lateral = std::abs(s.transverse() - t.transverse());
+  g.vertical = std::abs(s.z - t.z);
+  return g;
+}
+
+bool laterally_adjacent(const Segment& s, const Segment& t,
+                        double max_spacing) {
+  if (s.layer != t.layer) return false;
+  const auto g = parallel_geometry(s, t);
+  if (!g || g->overlap <= 0.0) return false;
+  return edge_spacing(s, t) <= max_spacing;
+}
+
+double edge_spacing(const Segment& s, const Segment& t) {
+  const double center = std::abs(s.transverse() - t.transverse());
+  return center - 0.5 * (s.width + t.width);
+}
+
+}  // namespace ind::geom

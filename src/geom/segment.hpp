@@ -1,0 +1,103 @@
+// Rectangular conductor segments: the atomic unit of PEEC modelling.
+//
+// Every wire in the layout is a chain of axis-aligned rectangular bars; each
+// bar becomes one RLC-pi stage of the detailed circuit model (Section 3) and
+// one filament (or several, after skin-effect splitting) of the
+// partial-inductance computation.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <optional>
+
+#include "geom/layer.hpp"
+
+namespace ind::geom {
+
+/// Electrical role of a conductor; drives model construction (signal nets get
+/// drivers/receivers, power/ground nets connect to pads and decap).
+/// Substrate marks nodes of the resistive bulk mesh (never routed metal).
+enum class NetKind { Signal, Power, Ground, Shield, Substrate };
+
+/// A 2-D point on a layer (metres).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangular conductor bar.
+///
+/// The centre-line runs from `a` to `b` (a.x==b.x or a.y==b.y); `width` is
+/// the lateral extent and the thickness/z come from the layer.
+struct Segment {
+  Point a, b;
+  double width = 0.0;      ///< metres
+  double thickness = 0.0;  ///< metres
+  double z = 0.0;          ///< centre height above substrate, metres
+  int layer = 1;           ///< metal level (1-based)
+  int net = -1;            ///< net id within the Layout
+  NetKind kind = NetKind::Signal;
+
+  double length() const { return std::hypot(b.x - a.x, b.y - a.y); }
+  Axis axis() const {
+    return std::abs(b.x - a.x) >= std::abs(b.y - a.y) ? Axis::X : Axis::Y;
+  }
+  Point center() const { return {0.5 * (a.x + b.x), 0.5 * (a.y + b.y)}; }
+
+  /// Coordinate along the segment's own axis of its start / end (sorted).
+  double lo() const { return axis() == Axis::X ? std::min(a.x, b.x) : std::min(a.y, b.y); }
+  double hi() const { return axis() == Axis::X ? std::max(a.x, b.x) : std::max(a.y, b.y); }
+  /// The fixed transverse coordinate of the centre-line.
+  double transverse() const { return axis() == Axis::X ? a.y : a.x; }
+};
+
+/// Relative placement of two parallel segments, used by the mutual-inductance
+/// kernel (Grover decomposition) and by coupling-capacitance extraction.
+struct ParallelGeometry {
+  double length_i = 0.0;     ///< length of first segment
+  double length_j = 0.0;     ///< length of second segment
+  double axial_gap = 0.0;    ///< gap along the shared axis (negative = overlap)
+  double lateral = 0.0;      ///< centre-to-centre distance in the routing plane
+  double vertical = 0.0;     ///< centre-to-centre vertical distance
+  double overlap = 0.0;      ///< axial overlap length (0 if disjoint)
+
+  double center_distance() const { return std::hypot(lateral, vertical); }
+};
+
+/// Returns the relative geometry of two segments if they are parallel
+/// (same axis); std::nullopt for orthogonal pairs, whose mutual partial
+/// inductance is zero by symmetry.
+std::optional<ParallelGeometry> parallel_geometry(const Segment& s,
+                                                  const Segment& t);
+
+/// True if two same-layer segments run side by side with axial overlap —
+/// the candidates for lateral coupling capacitance.
+bool laterally_adjacent(const Segment& s, const Segment& t,
+                        double max_spacing);
+
+/// Edge-to-edge spacing of two parallel same-layer segments.
+double edge_spacing(const Segment& s, const Segment& t);
+
+/// A vertical connection between two metal levels at a point.
+struct Via {
+  Point at;
+  int lower_layer = 1;
+  int upper_layer = 2;
+  int cuts = 1;  ///< parallel via cuts (resistance divides by this)
+  int net = -1;
+};
+
+/// A chip I/O pad: where package/bump inductance attaches to the grid.
+struct Pad {
+  Point at;
+  int layer = 6;  ///< topmost metal
+  NetKind kind = NetKind::Power;
+  double resistance = 0.05;   ///< ohms (pad + ball)
+  double inductance = 0.5e-9; ///< henries (package lead + bump)
+};
+
+}  // namespace ind::geom

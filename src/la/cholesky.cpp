@@ -1,0 +1,73 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace ind::la {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = size();
+  Vector x(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * x[j];
+    x[i] = acc / l_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+bool is_positive_definite(const Matrix& a) {
+  return Cholesky::factor(a).has_value();
+}
+
+double min_eigenvalue_bisect(const Matrix& a, double scale_hint,
+                             int iterations) {
+  // Bracket the smallest eigenvalue in [-s, s] where s is a generous bound.
+  const std::size_t n = a.rows();
+  double s = scale_hint * static_cast<double>(n) + 1e-300;
+  auto shifted_pd = [&](double t) {
+    Matrix m = a;
+    for (std::size_t i = 0; i < n; ++i) m(i, i) -= t;
+    return is_positive_definite(m);
+  };
+  double lo = -s, hi = s;
+  // Expand until bracketing: pd at lo (eigmin > lo), not pd at hi.
+  while (!shifted_pd(lo)) {
+    lo *= 2.0;
+    if (!std::isfinite(lo)) return lo;
+  }
+  while (shifted_pd(hi)) {
+    hi *= 2.0;
+    if (!std::isfinite(hi)) return hi;
+  }
+  for (int it = 0; it < iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (shifted_pd(mid) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ind::la

@@ -1,0 +1,46 @@
+// Cholesky (LL^T) factorisation for symmetric positive-definite systems.
+//
+// Two roles in this repo, both straight from the paper:
+//  * PSD verification of sparsified partial-inductance matrices (Section 4:
+//    truncation can yield a non-positive-definite matrix, whereas shell /
+//    block-diagonal schemes guarantee positive definiteness).
+//  * Fast direct solves of the manipulated MNA matrix in the combined
+//    block-diagonal + PRIMA flow, which the paper notes "can be solved very
+//    fast using a direct solver based on the Cholesky method".
+#pragma once
+
+#include <optional>
+
+#include "la/dense_matrix.hpp"
+
+namespace ind::la {
+
+/// Cholesky factor L with A = L L^T. Construction fails (empty optional via
+/// Cholesky::factor) if A is not positive definite.
+class Cholesky {
+ public:
+  /// Attempts the factorisation; std::nullopt if a pivot is <= 0 (matrix not
+  /// positive definite to working precision).
+  static std::optional<Cholesky> factor(const Matrix& a);
+
+  std::size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  Vector solve(const Vector& b) const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// True if the symmetric matrix is positive definite (Cholesky succeeds).
+/// This is the stability certificate used throughout sparsify/.
+bool is_positive_definite(const Matrix& a);
+
+/// Smallest eigenvalue estimate via bisection on `is_positive_definite`
+/// applied to A - t*I. Used to quantify *how* indefinite truncation made the
+/// inductance matrix. `scale_hint` should be a typical diagonal magnitude.
+double min_eigenvalue_bisect(const Matrix& a, double scale_hint,
+                             int iterations = 60);
+
+}  // namespace ind::la

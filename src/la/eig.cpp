@@ -1,0 +1,60 @@
+#include "la/eig.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ind::la {
+namespace {
+
+// Rayleigh quotient after power iteration on a symmetric matrix.
+double power_iteration(const Matrix& a, int max_iters, double tol) {
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  // Deterministic quasi-random start vector (no RNG dependence).
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::sin(static_cast<double>(i) * 1.2345 + 0.678);
+  double nv = norm2(v);
+  for (auto& x : v) x /= nv;
+
+  double lambda = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    Vector w = a.apply(v);
+    const double next = dot(v, w);
+    const double nw = norm2(w);
+    if (nw == 0.0) return 0.0;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nw;
+    if (it > 2 && std::abs(next - lambda) <= tol * std::max(1.0, std::abs(next)))
+      return next;
+    lambda = next;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+double dominant_eigenvalue(const Matrix& a, int max_iters, double tol) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("dominant_eigenvalue: square matrix required");
+  return power_iteration(a, max_iters, tol);
+}
+
+double smallest_eigenvalue(const Matrix& a, int max_iters, double tol) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("smallest_eigenvalue: square matrix required");
+  // Gershgorin upper bound on |eig|.
+  double bound = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) row += std::abs(a(i, j));
+    bound = std::max(bound, row);
+  }
+  // eig_min(A) = bound - eig_max(bound*I - A).
+  Matrix shifted(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      shifted(i, j) = (i == j ? bound : 0.0) - a(i, j);
+  return bound - power_iteration(shifted, max_iters, tol);
+}
+
+}  // namespace ind::la

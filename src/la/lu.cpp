@@ -1,0 +1,104 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace ind::la {
+namespace {
+
+double magnitude(double x) { return std::abs(x); }
+double magnitude(const Complex& x) { return std::abs(x); }
+
+}  // namespace
+
+template <typename T>
+LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("LuFactor: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = magnitude(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best == 0.0)
+      throw SingularMatrixError("LuFactor: singular matrix at column " +
+                                std::to_string(k));
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const T diag = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T factor = lu_(i, k) / diag;
+      lu_(i, k) = factor;
+      if (factor == T{}) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> LuFactor<T>::solve(const std::vector<T>& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size");
+  std::vector<T> x(n);
+  // Apply permutation, then forward-substitute with unit-diagonal L.
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    T acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back-substitute with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+template <typename T>
+DenseMatrix<T> LuFactor<T>::solve(const DenseMatrix<T>& b) const {
+  DenseMatrix<T> x(b.rows(), b.cols());
+  std::vector<T> col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const auto sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+template <typename T>
+T LuFactor<T>::determinant() const {
+  T det = static_cast<T>(perm_sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+template class LuFactor<double>;
+template class LuFactor<Complex>;
+
+Vector solve(Matrix a, const Vector& b) { return LU(std::move(a)).solve(b); }
+
+CVector solve(CMatrix a, const CVector& b) {
+  return CLU(std::move(a)).solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  return LU(a).solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace ind::la

@@ -1,0 +1,56 @@
+// Dense LU factorisation with partial pivoting, for real and complex systems.
+//
+// Used by the transient engine (one factorisation per constant timestep,
+// reused for every step) and by the AC engine (one complex factorisation per
+// frequency point), mirroring how interconnect simulators amortise solves.
+#pragma once
+
+#include <stdexcept>
+
+#include "la/dense_matrix.hpp"
+
+namespace ind::la {
+
+/// Thrown when a factorisation encounters an (numerically) singular pivot.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// LU decomposition P*A = L*U with partial pivoting, stored packed in-place.
+template <typename T>
+class LuFactor {
+ public:
+  LuFactor() = default;
+
+  /// Factorises a square matrix. Throws SingularMatrixError on breakdown.
+  explicit LuFactor(DenseMatrix<T> a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// Solves A X = B column-by-column.
+  DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
+
+  /// Determinant (product of pivots with sign of the permutation).
+  T determinant() const;
+
+ private:
+  DenseMatrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+using LU = LuFactor<double>;
+using CLU = LuFactor<Complex>;
+
+/// Convenience: solve A x = b with a one-shot factorisation.
+Vector solve(Matrix a, const Vector& b);
+CVector solve(CMatrix a, const CVector& b);
+
+/// Dense inverse (used for the K = L^-1 matrix of Section 4).
+Matrix inverse(const Matrix& a);
+
+}  // namespace ind::la

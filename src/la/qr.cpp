@@ -1,0 +1,77 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+namespace ind::la {
+namespace {
+
+double column_norm(const Matrix& m, std::size_t j) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) acc += m(i, j) * m(i, j);
+  return std::sqrt(acc);
+}
+
+// work(:,j) -= (q(:,k) . work(:,j)) q(:,k) for every column k of q.
+void project_out(Matrix& work, std::size_t j, const Matrix& q) {
+  for (std::size_t k = 0; k < q.cols(); ++k) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < work.rows(); ++i) proj += q(i, k) * work(i, j);
+    for (std::size_t i = 0; i < work.rows(); ++i) work(i, j) -= proj * q(i, k);
+  }
+}
+
+void project_out(Matrix& work, std::size_t j,
+                 const std::vector<Vector>& basis) {
+  for (const Vector& c : basis) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < work.rows(); ++i) proj += c[i] * work(i, j);
+    for (std::size_t i = 0; i < work.rows(); ++i) work(i, j) -= proj * c[i];
+  }
+}
+
+}  // namespace
+
+QrResult orthonormalize_against(const Matrix& a, const Matrix& q,
+                                double drop_tol) {
+  Matrix work = a;
+  std::vector<Vector> new_cols;
+
+  for (std::size_t j = 0; j < work.cols(); ++j) {
+    const double orig = column_norm(work, j);
+    if (orig == 0.0) continue;
+    // Two MGS passes for numerical robustness ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      project_out(work, j, q);
+      project_out(work, j, new_cols);
+    }
+    const double rem = column_norm(work, j);
+    if (rem <= drop_tol * orig) continue;  // deflated (linearly dependent)
+    Vector col(work.rows());
+    for (std::size_t i = 0; i < work.rows(); ++i) col[i] = work(i, j) / rem;
+    new_cols.push_back(std::move(col));
+  }
+
+  QrResult res;
+  res.rank = new_cols.size();
+  res.q.resize(a.rows(), res.rank);
+  for (std::size_t jj = 0; jj < new_cols.size(); ++jj)
+    for (std::size_t i = 0; i < a.rows(); ++i) res.q(i, jj) = new_cols[jj][i];
+  return res;
+}
+
+QrResult orthonormalize(const Matrix& a, double drop_tol) {
+  return orthonormalize_against(a, Matrix(a.rows(), 0), drop_tol);
+}
+
+Matrix hcat(const Matrix& a, const Matrix& b) {
+  if (a.cols() == 0) return b;
+  if (b.cols() == 0) return a;
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) out(i, a.cols() + j) = b(i, j);
+  }
+  return out;
+}
+
+}  // namespace ind::la

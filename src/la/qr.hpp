@@ -1,0 +1,31 @@
+// Block orthonormalisation via modified Gram-Schmidt.
+//
+// PRIMA (Section 4, [20]) builds an orthonormal projection basis from block
+// Krylov vectors; numerically this is a repeated-MGS QR of tall-skinny
+// matrices. Rank-deficient columns (deflation) are dropped, which PRIMA
+// requires when ports outnumber independent moments.
+#pragma once
+
+#include "la/dense_matrix.hpp"
+
+namespace ind::la {
+
+struct QrResult {
+  Matrix q;              ///< n x r with orthonormal columns (r <= input cols)
+  std::size_t rank = 0;  ///< number of retained columns
+};
+
+/// Orthonormalises the columns of `a` (modified Gram-Schmidt with one
+/// re-orthogonalisation pass). Columns whose residual norm falls below
+/// `drop_tol * original_norm` are deflated.
+QrResult orthonormalize(const Matrix& a, double drop_tol = 1e-10);
+
+/// Orthonormalises the columns of `a` against an existing orthonormal basis
+/// `q` first, then internally. Returns only the *new* orthonormal columns.
+QrResult orthonormalize_against(const Matrix& a, const Matrix& q,
+                                double drop_tol = 1e-10);
+
+/// Horizontal concatenation [a | b] (b may be empty).
+Matrix hcat(const Matrix& a, const Matrix& b);
+
+}  // namespace ind::la

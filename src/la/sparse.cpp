@@ -1,0 +1,80 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ind::la {
+
+Matrix TripletMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (const Entry& e : entries_) m(e.row, e.col) += e.value;
+  return m;
+}
+
+CscMatrix::CscMatrix(const TripletMatrix& t) : rows_(t.rows()), cols_(t.cols()) {
+  // Count entries per column.
+  std::vector<std::size_t> count(cols_ + 1, 0);
+  for (const auto& e : t.entries()) {
+    if (e.row >= rows_ || e.col >= cols_)
+      throw std::out_of_range("CscMatrix: triplet out of range");
+    ++count[e.col + 1];
+  }
+  col_ptr_.assign(cols_ + 1, 0);
+  for (std::size_t j = 0; j < cols_; ++j) col_ptr_[j + 1] = col_ptr_[j] + count[j + 1];
+
+  std::vector<std::size_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+  std::vector<std::size_t> raw_rows(t.entry_count());
+  std::vector<double> raw_vals(t.entry_count());
+  for (const auto& e : t.entries()) {
+    const std::size_t pos = cursor[e.col]++;
+    raw_rows[pos] = e.row;
+    raw_vals[pos] = e.value;
+  }
+
+  // Sort each column by row and merge duplicates.
+  row_idx_.reserve(raw_rows.size());
+  values_.reserve(raw_vals.size());
+  std::vector<std::size_t> new_ptr(cols_ + 1, 0);
+  std::vector<std::pair<std::size_t, double>> colbuf;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    colbuf.clear();
+    for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      colbuf.emplace_back(raw_rows[p], raw_vals[p]);
+    std::sort(colbuf.begin(), colbuf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::size_t col_start = row_idx_.size();
+    for (const auto& [row, val] : colbuf) {
+      const bool merge = row_idx_.size() > col_start && row_idx_.back() == row;
+      if (merge) {
+        values_.back() += val;
+      } else {
+        row_idx_.push_back(row);
+        values_.push_back(val);
+      }
+    }
+    new_ptr[j + 1] = row_idx_.size();
+  }
+  col_ptr_ = std::move(new_ptr);
+}
+
+Vector CscMatrix::apply(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CscMatrix::apply: size");
+  Vector y(rows_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      y[row_idx_[p]] += values_[p] * xj;
+  }
+  return y;
+}
+
+Matrix CscMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t j = 0; j < cols_; ++j)
+    for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      m(row_idx_[p], j) += values_[p];
+  return m;
+}
+
+}  // namespace ind::la

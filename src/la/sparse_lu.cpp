@@ -1,0 +1,145 @@
+#include "la/sparse_lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace ind::la {
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}
+
+SparseLu::SparseLu(const CscMatrix& a) : n_(a.rows()) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("SparseLu: matrix must be square");
+  lower_.resize(n_);
+  upper_.resize(n_);
+  diag_.assign(n_, 0.0);
+  perm_.assign(n_, kNone);
+
+  std::vector<std::size_t> pinv(n_, kNone);  // original row -> pivot step
+  std::vector<double> x(n_, 0.0);
+  std::vector<std::size_t> mark(n_, kNone);  // last column that visited row
+  std::vector<std::size_t> node_stack, child_pos, pattern;
+  node_stack.reserve(n_);
+  child_pos.reserve(n_);
+  pattern.reserve(64);
+
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_idx();
+  const auto& av = a.values();
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // --- Symbolic: pattern of x = L \ A(:,k) via DFS through L's columns.
+    pattern.clear();
+    for (std::size_t p = cp[k]; p < cp[k + 1]; ++p) {
+      std::size_t start = ri[p];
+      if (mark[start] == k) continue;
+      node_stack.assign(1, start);
+      child_pos.assign(1, 0);
+      mark[start] = k;
+      while (!node_stack.empty()) {
+        const std::size_t node = node_stack.back();
+        const std::size_t piv = pinv[node];
+        const auto* col = piv == kNone ? nullptr : &lower_[piv];
+        bool descended = false;
+        while (col && child_pos.back() < col->rows.size()) {
+          const std::size_t child = col->rows[child_pos.back()++];
+          if (mark[child] != k) {
+            mark[child] = k;
+            node_stack.push_back(child);
+            child_pos.push_back(0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          pattern.push_back(node);  // post-order
+          node_stack.pop_back();
+          child_pos.pop_back();
+        }
+      }
+    }
+
+    // --- Numeric: scatter A(:,k), then eliminate in topological order.
+    for (std::size_t node : pattern) x[node] = 0.0;
+    for (std::size_t p = cp[k]; p < cp[k + 1]; ++p) x[ri[p]] += av[p];
+    for (std::size_t idx = pattern.size(); idx-- > 0;) {
+      const std::size_t node = pattern[idx];
+      const std::size_t piv = pinv[node];
+      if (piv == kNone) continue;
+      const double xn = x[node];
+      if (xn == 0.0) continue;
+      const Col& col = lower_[piv];
+      for (std::size_t q = 0; q < col.rows.size(); ++q)
+        x[col.rows[q]] -= col.vals[q] * xn;
+    }
+
+    // --- Partial pivoting among not-yet-pivoted rows.
+    std::size_t pivot_row = kNone;
+    double best = 0.0;
+    for (std::size_t node : pattern) {
+      if (pinv[node] != kNone) continue;
+      const double mag = std::abs(x[node]);
+      if (mag > best) {
+        best = mag;
+        pivot_row = node;
+      }
+    }
+    if (pivot_row == kNone || best == 0.0)
+      throw SingularMatrixError("SparseLu: singular at column " +
+                                std::to_string(k));
+    perm_[k] = pivot_row;
+    pinv[pivot_row] = k;
+    diag_[k] = x[pivot_row];
+
+    for (std::size_t node : pattern) {
+      const double val = x[node];
+      x[node] = 0.0;
+      if (node == pivot_row || val == 0.0) continue;
+      const std::size_t piv = pinv[node];
+      if (piv != kNone) {
+        upper_[k].rows.push_back(piv);
+        upper_[k].vals.push_back(val);
+      } else {
+        lower_[k].rows.push_back(node);
+        lower_[k].vals.push_back(val / diag_[k]);
+      }
+    }
+  }
+}
+
+std::size_t SparseLu::fill_nnz() const {
+  std::size_t nnz = n_;
+  for (const Col& c : lower_) nnz += c.rows.size();
+  for (const Col& c : upper_) nnz += c.rows.size();
+  return nnz;
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: size");
+  // Forward substitution: y = L^{-1} P b, with L columns holding original
+  // row indices so updates scatter directly into `work`.
+  Vector work = b;
+  Vector y(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double yk = work[perm_[k]];
+    y[k] = yk;
+    if (yk == 0.0) continue;
+    const Col& col = lower_[k];
+    for (std::size_t q = 0; q < col.rows.size(); ++q)
+      work[col.rows[q]] -= col.vals[q] * yk;
+  }
+  // Back substitution with U (entries of column k sit at pivot rows < k).
+  for (std::size_t k = n_; k-- > 0;) {
+    const double xk = y[k] / diag_[k];
+    y[k] = xk;
+    if (xk == 0.0) continue;
+    const Col& col = upper_[k];
+    for (std::size_t q = 0; q < col.rows.size(); ++q)
+      y[col.rows[q]] -= col.vals[q] * xk;
+  }
+  return y;
+}
+
+}  // namespace ind::la

@@ -1,0 +1,42 @@
+// Left-looking (Gilbert-Peierls) sparse LU with partial pivoting.
+//
+// The MNA matrices of grid-dominated workloads (Table 1: 220k resistors in
+// the clock-net power-grid model) are far too large for dense factorisation
+// but factor quickly with a sparse direct method; the factorisation is reused
+// across every transient timestep, so factor-once/solve-many is the dominant
+// cost model, exactly as in the paper's reduced-order and RC flows.
+#pragma once
+
+#include <vector>
+
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+
+namespace ind::la {
+
+class SparseLu {
+ public:
+  /// Factorises the square CSC matrix. Throws SingularMatrixError if a zero
+  /// pivot column is encountered.
+  explicit SparseLu(const CscMatrix& a);
+
+  std::size_t size() const { return n_; }
+  std::size_t fill_nnz() const;
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+ private:
+  struct Col {
+    std::vector<std::size_t> rows;
+    std::vector<double> vals;
+  };
+
+  std::size_t n_ = 0;
+  std::vector<Col> lower_;  // strictly-lower part, unit diagonal implicit
+  std::vector<Col> upper_;  // upper part excluding diagonal
+  Vector diag_;             // U diagonal
+  std::vector<std::size_t> perm_;  // row permutation: pivot row of step k
+};
+
+}  // namespace ind::la

@@ -1,0 +1,233 @@
+#include "loop/ladder_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/lu.hpp"
+
+namespace ind::loop {
+
+la::Complex LadderModel::impedance(double omega) const {
+  la::Complex z{r0, omega * l0};
+  if (has_parallel_branch()) {
+    const la::Complex zl{0.0, omega * l1};
+    z += (r1 * zl) / (la::Complex{r1, 0.0} + zl);
+  }
+  return z;
+}
+
+LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high) {
+  if (high.frequency <= low.frequency)
+    throw std::invalid_argument("fit_ladder: frequencies must be ordered");
+  const double w1 = 2.0 * M_PI * low.frequency;
+  const double w2 = 2.0 * M_PI * high.frequency;
+  const double dr = high.resistance - low.resistance;  // skin: R rises
+  const double dl = low.inductance - high.inductance;  // skin: L falls
+
+  LadderModel m;
+  // No visible frequency dependence: plain series RL at the low point.
+  if (dr <= 1e-12 * std::max(low.resistance, 1e-30) || dl <= 0.0) {
+    m.r0 = low.resistance;
+    m.l0 = low.inductance;
+    return m;
+  }
+
+  // Parallel branch responses: g(w) = w^2 t^2 / (1 + w^2 t^2) for the
+  // resistive part, h(w) = 1 / (1 + w^2 t^2) for the inductive part, with
+  // t = L1/R1. Solve the 2x2 system in (R1, L1) by damped Newton.
+  auto residual = [&](double r1, double l1, double& f1, double& f2) {
+    const double t = l1 / r1;
+    auto g = [&](double w) {
+      const double wt2 = w * w * t * t;
+      return wt2 / (1.0 + wt2);
+    };
+    auto h = [&](double w) { return 1.0 / (1.0 + w * w * t * t); };
+    f1 = r1 * (g(w2) - g(w1)) - dr;
+    f2 = l1 * (h(w1) - h(w2)) - dl;
+  };
+
+  const double t0 = 1.0 / std::sqrt(w1 * w2);
+  double r1 = std::max(dr * 2.0, 1e-6);
+  double l1 = std::max(dl * 2.0, t0 * r1);
+  for (int it = 0; it < 200; ++it) {
+    double f1, f2;
+    residual(r1, l1, f1, f2);
+    if (std::abs(f1) < 1e-12 * (std::abs(dr) + 1e-30) &&
+        std::abs(f2) < 1e-12 * (std::abs(dl) + 1e-30))
+      break;
+    // Numerical Jacobian.
+    const double hr = std::max(1e-8 * r1, 1e-12);
+    const double hl = std::max(1e-8 * l1, 1e-18);
+    double f1r, f2r, f1l, f2l;
+    residual(r1 + hr, l1, f1r, f2r);
+    residual(r1, l1 + hl, f1l, f2l);
+    const double j11 = (f1r - f1) / hr, j12 = (f1l - f1) / hl;
+    const double j21 = (f2r - f2) / hr, j22 = (f2l - f2) / hl;
+    const double det = j11 * j22 - j12 * j21;
+    if (det == 0.0 || !std::isfinite(det)) break;
+    double dr1 = (-f1 * j22 + f2 * j12) / det;
+    double dl1 = (-f2 * j11 + f1 * j21) / det;
+    // Damped update staying in the positive quadrant.
+    double alpha = 1.0;
+    while ((r1 + alpha * dr1 <= 0.0 || l1 + alpha * dl1 <= 0.0) && alpha > 1e-6)
+      alpha *= 0.5;
+    r1 += alpha * dr1;
+    l1 += alpha * dl1;
+  }
+
+  m.r1 = r1;
+  m.l1 = l1;
+  // Anchor the series terms so the fit passes exactly through the two
+  // extracted points (to the accuracy of the converged branch).
+  const double t = l1 / r1;
+  const double g1 = (w1 * w1 * t * t) / (1.0 + w1 * w1 * t * t);
+  const double h1 = 1.0 / (1.0 + w1 * w1 * t * t);
+  m.r0 = std::max(low.resistance - r1 * g1, 0.0);
+  m.l0 = std::max(low.inductance - l1 * h1, 1e-15);
+  return m;
+}
+
+la::Complex MultiLadderModel::impedance(double omega) const {
+  la::Complex z{r0, omega * l0};
+  for (const Branch& b : branches) {
+    if (b.r <= 0.0 || b.l <= 0.0) continue;
+    const la::Complex zl{0.0, omega * b.l};
+    z += (b.r * zl) / (la::Complex{b.r, 0.0} + zl);
+  }
+  return z;
+}
+
+double ladder_fit_error(const MultiLadderModel& model,
+                        const std::vector<LoopImpedance>& sweep) {
+  if (sweep.empty()) return 0.0;
+  double acc = 0.0;
+  for (const LoopImpedance& s : sweep) {
+    const double w = 2.0 * M_PI * s.frequency;
+    const la::Complex zm = model.impedance(w);
+    const la::Complex zs{s.resistance, w * s.inductance};
+    const double scale = std::abs(zs) + 1e-30;
+    acc += std::norm(zm - zs) / (scale * scale);
+  }
+  return std::sqrt(acc / sweep.size());
+}
+
+MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
+                                  int branches) {
+  if (sweep.size() < 2)
+    throw std::invalid_argument("fit_ladder_multi: need >= 2 sweep points");
+  if (branches < 0)
+    throw std::invalid_argument("fit_ladder_multi: negative branch count");
+
+  // --- initial guess: series terms from the band edges, branch corners
+  // log-spaced across the sweep, each absorbing an equal share of the
+  // R-rise / L-droop.
+  const LoopImpedance& lo = sweep.front();
+  const LoopImpedance& hi = sweep.back();
+  const double dr = std::max(hi.resistance - lo.resistance, 0.0);
+  const double dl = std::max(lo.inductance - hi.inductance, 0.0);
+
+  MultiLadderModel m;
+  m.r0 = std::max(lo.resistance, 1e-9);
+  m.l0 = std::max(hi.inductance, 1e-15);
+  const int nb = branches;
+  for (int k = 0; k < nb; ++k) {
+    // Corner frequency log-spaced inside the sweep.
+    const double frac = (k + 1.0) / (nb + 1.0);
+    const double f_c =
+        lo.frequency * std::pow(hi.frequency / lo.frequency, frac);
+    const double w_c = 2.0 * M_PI * f_c;
+    MultiLadderModel::Branch b;
+    b.r = std::max(dr / std::max(nb, 1), 1e-6);
+    b.l = std::max(dl / std::max(nb, 1), b.r / w_c);
+    m.branches.push_back(b);
+  }
+  if (nb == 0) return m;
+
+  // --- Levenberg-Marquardt on p = log(params); residuals are the scaled
+  // real/imag misfits at every sweep point.
+  const std::size_t np = 2 + 2 * m.branches.size();
+  auto pack = [&](const MultiLadderModel& model) {
+    la::Vector p(np);
+    p[0] = std::log(model.r0);
+    p[1] = std::log(model.l0);
+    for (std::size_t k = 0; k < model.branches.size(); ++k) {
+      p[2 + 2 * k] = std::log(model.branches[k].r);
+      p[3 + 2 * k] = std::log(model.branches[k].l);
+    }
+    return p;
+  };
+  auto unpack = [&](const la::Vector& p) {
+    MultiLadderModel model;
+    model.r0 = std::exp(p[0]);
+    model.l0 = std::exp(p[1]);
+    for (std::size_t k = 0; 2 + 2 * k + 1 < np; ++k)
+      model.branches.push_back(
+          {std::exp(p[2 + 2 * k]), std::exp(p[3 + 2 * k])});
+    return model;
+  };
+  const std::size_t nr = 2 * sweep.size();
+  auto residuals = [&](const la::Vector& p) {
+    const MultiLadderModel model = unpack(p);
+    la::Vector r(nr);
+    for (std::size_t s = 0; s < sweep.size(); ++s) {
+      const double w = 2.0 * M_PI * sweep[s].frequency;
+      const la::Complex zm = model.impedance(w);
+      const la::Complex zs{sweep[s].resistance, w * sweep[s].inductance};
+      const double scale = std::abs(zs) + 1e-30;
+      r[2 * s] = (zm.real() - zs.real()) / scale;
+      r[2 * s + 1] = (zm.imag() - zs.imag()) / scale;
+    }
+    return r;
+  };
+
+  la::Vector p = pack(m);
+  la::Vector r = residuals(p);
+  double cost = la::dot(r, r);
+  double lambda = 1e-3;
+  for (int iter = 0; iter < 120; ++iter) {
+    // Numerical Jacobian.
+    la::Matrix j(nr, np);
+    for (std::size_t c = 0; c < np; ++c) {
+      la::Vector pp = p;
+      const double h = 1e-6;
+      pp[c] += h;
+      const la::Vector rp = residuals(pp);
+      for (std::size_t i = 0; i < nr; ++i) j(i, c) = (rp[i] - r[i]) / h;
+    }
+    // Normal equations with LM damping.
+    la::Matrix jtj = j.transposed() * j;
+    la::Vector jtr = j.apply_transposed(r);
+    bool stepped = false;
+    for (int tries = 0; tries < 8 && !stepped; ++tries) {
+      la::Matrix a = jtj;
+      for (std::size_t d = 0; d < np; ++d)
+        a(d, d) += lambda * (jtj(d, d) + 1e-12);
+      la::Vector step;
+      try {
+        step = la::solve(std::move(a), jtr);
+      } catch (const la::SingularMatrixError&) {
+        lambda *= 10.0;
+        continue;
+      }
+      la::Vector pc = p;
+      for (std::size_t d = 0; d < np; ++d)
+        pc[d] -= std::clamp(step[d], -2.0, 2.0);
+      const la::Vector rc = residuals(pc);
+      const double cost_c = la::dot(rc, rc);
+      if (cost_c < cost) {
+        p = pc;
+        r = rc;
+        cost = cost_c;
+        lambda = std::max(lambda * 0.3, 1e-9);
+        stepped = true;
+      } else {
+        lambda *= 10.0;
+      }
+    }
+    if (!stepped || cost < 1e-20) break;
+  }
+  return unpack(p);
+}
+
+}  // namespace ind::loop

@@ -1,0 +1,67 @@
+// Two-frequency ladder fit (Krauter et al. [5]; Fig. 3(d) of the paper):
+// "The loop impedance is extracted at two frequencies, and the parameters
+// R0, L0, R1 and L1 used in the ladder circuit are computed."
+//
+// Ladder topology:  Z(w) = R0 + jw L0 + (R1 || jw L1)
+// which rises from R0 to R0+R1 in resistance and falls from L0+L1 to L0 in
+// inductance as frequency grows — the skin/proximity signature of Fig. 3(b).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "loop/mqs_solver.hpp"
+
+namespace ind::loop {
+
+struct LadderModel {
+  double r0 = 0.0;  ///< ohms
+  double l0 = 0.0;  ///< henries
+  double r1 = 0.0;  ///< ohms   (0 = no parallel branch)
+  double l1 = 0.0;  ///< henries (0 = no parallel branch)
+
+  bool has_parallel_branch() const { return r1 > 0.0 && l1 > 0.0; }
+
+  la::Complex impedance(double omega) const;
+  double resistance(double omega) const { return impedance(omega).real(); }
+  double inductance(double omega) const {
+    return impedance(omega).imag() / omega;
+  }
+};
+
+/// Fits the ladder to loop impedances extracted at a low and a high
+/// frequency. Degenerates gracefully to a plain series RL when the two
+/// points show no frequency dependence.
+LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high);
+
+/// Generalised ladder: Z(w) = R0 + jw L0 + sum_k (Rk || jw Lk). One branch
+/// per skin/proximity "corner"; more branches track a broader band than the
+/// paper's two-frequency construction.
+struct MultiLadderModel {
+  double r0 = 0.0;
+  double l0 = 0.0;
+  struct Branch {
+    double r = 0.0;
+    double l = 0.0;
+  };
+  std::vector<Branch> branches;
+
+  la::Complex impedance(double omega) const;
+  double resistance(double omega) const { return impedance(omega).real(); }
+  double inductance(double omega) const {
+    return impedance(omega).imag() / omega;
+  }
+};
+
+/// Least-squares fit (Levenberg-Marquardt in log-parameter space, so every
+/// element stays positive) of an N-branch ladder to a full R(f)/L(f) sweep.
+/// `branches` <= sweep.size()/2 is recommended.
+MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
+                                  int branches);
+
+/// Relative RMS misfit of a model against a sweep (diagnostic).
+double ladder_fit_error(const MultiLadderModel& model,
+                        const std::vector<LoopImpedance>& sweep);
+
+}  // namespace ind::loop

@@ -1,0 +1,50 @@
+// Loop-model netlist construction (Fig. 3(c)/(d) and the Table-1 "LOOP
+// (RLC)" flow).
+//
+// The extracted loop resistance and inductance are distributed along the
+// signal-net segments proportionally to length (one RLC-pi stage per
+// segment — "the lumped RLC circuit representation can be improved by
+// increasing the number of RLC-pi segments"), interconnect capacitance is
+// kept per segment, and the drivers connect to *ideal* rails: the grid, the
+// decap and the package disappear from the simulated circuit, which is
+// exactly why the loop model is orders of magnitude smaller and faster —
+// and why it loses the capacitance-dependent return-path accuracy the paper
+// warns about.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "geom/layout.hpp"
+#include "loop/ladder_fit.hpp"
+#include "loop/port_extractor.hpp"
+
+namespace ind::loop {
+
+struct LoopModelOptions {
+  double extraction_freq = 1e9;  ///< single-frequency R/L (Fig. 3(c))
+  bool use_ladder = false;       ///< two-frequency ladder (Fig. 3(d))
+  double f_low = 1e8, f_high = 1e10;  ///< ladder anchor frequencies
+  double vdd = 1.8;
+  LoopExtractionOptions extraction{};
+  double max_segment_length = geom::um(200.0);  ///< netlist granularity
+};
+
+struct LoopModel {
+  circuit::Netlist netlist;
+  std::vector<circuit::Probe> receiver_probes;
+  std::vector<std::string> receiver_names;
+  LoopImpedance extracted;            ///< loop R/L at the extraction point
+  std::optional<LadderModel> ladder;  ///< set when use_ladder
+  double total_cap = 0.0;             ///< farads, interconnect + loads
+  double vdd_volts = 1.8;
+  double extraction_seconds = 0.0;    ///< field-solver time (Table 1 run-time)
+};
+
+LoopModel build_loop_model(const geom::Layout& layout, int signal_net,
+                           const LoopModelOptions& opts = {});
+
+}  // namespace ind::loop

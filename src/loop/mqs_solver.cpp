@@ -1,0 +1,191 @@
+#include "loop/mqs_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "extract/partial_inductance.hpp"
+#include "la/lu.hpp"
+
+namespace ind::loop {
+namespace {
+
+std::uint64_t key_of(const geom::Point& p, int layer, double snap) {
+  const auto qx = static_cast<std::int64_t>(std::llround(p.x / snap));
+  const auto qy = static_cast<std::int64_t>(std::llround(p.y / snap));
+  const std::uint64_t ux = static_cast<std::uint64_t>(qx + (1LL << 27));
+  const std::uint64_t uy = static_cast<std::uint64_t>(qy + (1LL << 27));
+  return (static_cast<std::uint64_t>(layer) << 56) | (ux << 28) | uy;
+}
+
+}  // namespace
+
+MqsSolver::MqsSolver(const std::vector<geom::Segment>& segments,
+                     const std::vector<geom::Via>& vias,
+                     const geom::Technology& tech, const MqsOptions& opts)
+    : snap_(opts.snap) {
+  std::vector<std::size_t> parent_of;
+  filaments_ = extract::split_all(segments, parent_of, opts.skin);
+
+  // Parent-endpoint nodes: filaments of one parent share its two nodes, so
+  // current can redistribute laterally only at segment boundaries (volume
+  // filament discretisation).
+  auto get_node = [&](const geom::Point& p, int layer, geom::NetKind kind) {
+    const std::uint64_t key = key_of(p, layer, snap_);
+    const auto it = std::lower_bound(
+        node_keys_.begin(), node_keys_.end(), key,
+        [](const auto& e, std::uint64_t k) { return e.first < k; });
+    if (it != node_keys_.end() && it->first == key) return it->second;
+    const std::size_t id = node_count_++;
+    node_keys_.insert(it, {key, id});
+    node_info_.push_back({p, layer, kind});
+    alias_.push_back(id);
+    return id;
+  };
+
+  fil_a_.reserve(filaments_.size());
+  fil_b_.reserve(filaments_.size());
+  fil_resistance_.reserve(filaments_.size());
+  for (std::size_t k = 0; k < filaments_.size(); ++k) {
+    const geom::Segment& parent = segments[parent_of[k]];
+    fil_a_.push_back(get_node(parent.a, parent.layer, parent.kind));
+    fil_b_.push_back(get_node(parent.b, parent.layer, parent.kind));
+    const geom::Segment& f = filaments_[k];
+    const geom::Layer& layer = tech.layer(f.layer);
+    // Volumetric resistivity recovered from the sheet model: rho = Rs * t.
+    const double rho = layer.sheet_resistance * layer.thickness;
+    fil_resistance_.push_back(
+        std::max(rho * f.length() / (f.width * f.thickness), 1e-9));
+  }
+
+  fil_l_ = extract::build_partial_inductance_matrix(
+      filaments_, {.window = opts.mutual_window});
+
+  for (const geom::Via& v : vias) {
+    const auto lo = node_at(v.at, v.lower_layer);
+    const auto hi = node_at(v.at, v.upper_layer);
+    if (lo && hi) short_nodes(*lo, *hi);
+  }
+}
+
+std::size_t MqsSolver::canonical(std::size_t node) const {
+  while (alias_[node] != node) node = alias_[node];
+  return node;
+}
+
+void MqsSolver::short_nodes(std::size_t a, std::size_t b) {
+  const std::size_t ra = canonical(a), rb = canonical(b);
+  if (ra != rb) alias_[std::max(ra, rb)] = std::min(ra, rb);
+}
+
+std::optional<std::size_t> MqsSolver::node_at(geom::Point p, int layer) const {
+  const std::uint64_t key = key_of(p, layer, snap_);
+  const auto it = std::lower_bound(
+      node_keys_.begin(), node_keys_.end(), key,
+      [](const auto& e, std::uint64_t k) { return e.first < k; });
+  if (it == node_keys_.end() || it->first != key) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> MqsSolver::nearest_node(geom::Point p,
+                                                   geom::NetKind kind) const {
+  std::optional<std::size_t> best;
+  double best_d = 1e300;
+  for (std::size_t i = 0; i < node_info_.size(); ++i) {
+    if (node_info_[i].kind != kind) continue;
+    const double d = geom::distance(node_info_[i].at, p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+LoopImpedance MqsSolver::port_impedance(std::size_t plus, std::size_t minus,
+                                        double frequency) const {
+  if (frequency <= 0.0)
+    throw std::invalid_argument("port_impedance: frequency must be positive");
+  const std::size_t p = canonical(plus);
+  const std::size_t ref = canonical(minus);
+  if (p == ref)
+    throw std::invalid_argument("port_impedance: port nodes are shorted");
+
+  // Compact indices for canonical nodes, with the reference node removed.
+  std::vector<std::ptrdiff_t> compact(node_count_, -1);
+  std::size_t n_active = 0;
+  for (std::size_t k = 0; k < filaments_.size(); ++k) {
+    for (std::size_t node : {canonical(fil_a_[k]), canonical(fil_b_[k])}) {
+      if (node == ref || compact[node] >= 0) continue;
+      compact[node] = static_cast<std::ptrdiff_t>(n_active++);
+    }
+  }
+  if (compact[p] < 0)
+    throw std::invalid_argument("port_impedance: plus node is floating");
+
+  // Conductor groups not connected to the reference have no defined
+  // potential (singular KCL block). Tie one node of each such group to the
+  // reference with a unit conductance: since that is the group's only
+  // connection, zero net current flows through it — the fix is exact, it
+  // merely pins the floating potential.
+  std::vector<std::size_t> comp(node_count_);
+  for (std::size_t i = 0; i < node_count_; ++i) comp[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (comp[x] != x) x = comp[x] = comp[comp[x]];
+    return x;
+  };
+  for (std::size_t k = 0; k < filaments_.size(); ++k) {
+    const std::size_t ra = find(canonical(fil_a_[k]));
+    const std::size_t rb = find(canonical(fil_b_[k]));
+    if (ra != rb) comp[ra] = rb;
+  }
+  std::vector<std::size_t> pin_nodes;
+  {
+    std::vector<char> seen(node_count_, 0);
+    const std::size_t ref_comp = find(ref);
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      if (canonical(i) != i || compact[i] < 0) continue;
+      const std::size_t c = find(i);
+      if (c == ref_comp || seen[c]) continue;
+      seen[c] = 1;
+      pin_nodes.push_back(i);
+    }
+  }
+
+  const std::size_t nf = filaments_.size();
+  const std::size_t size = n_active + nf;
+  la::CMatrix a(size, size);
+  const double omega = 2.0 * M_PI * frequency;
+  const la::Complex jw{0.0, omega};
+
+  for (std::size_t k = 0; k < nf; ++k) {
+    const std::ptrdiff_t na = compact[canonical(fil_a_[k])];
+    const std::ptrdiff_t nb = compact[canonical(fil_b_[k])];
+    const std::size_t br = n_active + k;
+    // KCL: branch current leaves a, enters b.
+    if (na >= 0) a(static_cast<std::size_t>(na), br) += 1.0;
+    if (nb >= 0) a(static_cast<std::size_t>(nb), br) -= 1.0;
+    // Branch: v_a - v_b - (R + jwL_kk) i_k - sum_m jwL_km i_m = 0.
+    if (na >= 0) a(br, static_cast<std::size_t>(na)) += 1.0;
+    if (nb >= 0) a(br, static_cast<std::size_t>(nb)) -= 1.0;
+    a(br, br) -= la::Complex{fil_resistance_[k], 0.0} + jw * fil_l_(k, k);
+    for (std::size_t m = 0; m < nf; ++m) {
+      if (m == k || fil_l_(k, m) == 0.0) continue;
+      a(br, n_active + m) -= jw * fil_l_(k, m);
+    }
+  }
+
+  for (std::size_t node : pin_nodes)
+    a(static_cast<std::size_t>(compact[node]),
+      static_cast<std::size_t>(compact[node])) += 1.0;
+
+  la::CVector b(size, la::Complex{});
+  b[static_cast<std::size_t>(compact[p])] = 1.0;  // 1 A into the plus node
+
+  const la::CVector x = la::CLU(std::move(a)).solve(b);
+  const la::Complex z = x[static_cast<std::size_t>(compact[p])];
+  return {frequency, z.real(), z.imag() / omega};
+}
+
+}  // namespace ind::loop

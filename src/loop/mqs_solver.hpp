@@ -1,0 +1,81 @@
+// Magnetoquasistatic field solver in the FastHenry [7] style.
+//
+// Conductors are discretised into volume filaments that share nodes at the
+// parent-segment boundaries; each filament carries R + jwL self impedance
+// and full mutual coupling to every parallel filament. Solving the complex
+// nodal system with a 1 A port excitation yields the frequency-dependent
+// loop impedance Z(f) = R(f) + jw L(f): current crowds into low-impedance
+// return paths as frequency rises, producing the R-up / L-down behaviour of
+// Fig. 3(b) without any explicit skin-effect model.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "extract/skin.hpp"
+#include "geom/layout.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace ind::loop {
+
+struct MqsOptions {
+  extract::SkinSplitOptions skin{};
+  double mutual_window = 1e9;  ///< metres; limits the dense coupling range
+  double snap = 1e-9;          ///< node coordinate snapping
+};
+
+/// Loop impedance decomposed at one frequency.
+struct LoopImpedance {
+  double frequency = 0.0;   ///< Hz
+  double resistance = 0.0;  ///< Re Z, ohms
+  double inductance = 0.0;  ///< Im Z / w, henries
+};
+
+class MqsSolver {
+ public:
+  /// Builds the filament system over `segments` (already refined so that
+  /// connection points are endpoints). Vias short their end nodes together
+  /// (their impedance is negligible at MQS frequencies of interest).
+  MqsSolver(const std::vector<geom::Segment>& segments,
+            const std::vector<geom::Via>& vias, const geom::Technology& tech,
+            const MqsOptions& opts = {});
+
+  std::size_t num_filaments() const { return filaments_.size(); }
+  std::size_t num_nodes() const { return node_count_; }
+
+  /// Node at a segment-endpoint coordinate; nullopt if no conductor ends
+  /// there.
+  std::optional<std::size_t> node_at(geom::Point p, int layer) const;
+
+  /// Electrically shorts two nodes (used to tie the receiver end of the
+  /// signal to the local ground per the Section-5 extraction setup).
+  void short_nodes(std::size_t a, std::size_t b);
+
+  /// Nearest node belonging to a conductor of the given kind.
+  std::optional<std::size_t> nearest_node(geom::Point p,
+                                          geom::NetKind kind) const;
+
+  /// Loop impedance seen by a 1 A source driven between `plus` and `minus`.
+  LoopImpedance port_impedance(std::size_t plus, std::size_t minus,
+                               double frequency) const;
+
+ private:
+  std::size_t canonical(std::size_t node) const;
+
+  std::vector<geom::Segment> filaments_;
+  std::vector<double> fil_resistance_;
+  la::Matrix fil_l_;  // filament partial-inductance matrix
+  std::vector<std::size_t> fil_a_, fil_b_;
+  std::size_t node_count_ = 0;
+  std::vector<std::size_t> alias_;  // union-find parent per node
+  struct NodeRec {
+    geom::Point at;
+    int layer;
+    geom::NetKind kind;
+  };
+  std::vector<NodeRec> node_info_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> node_keys_;  // sorted
+  double snap_ = 1e-9;
+};
+
+}  // namespace ind::loop

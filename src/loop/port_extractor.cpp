@@ -1,0 +1,76 @@
+#include "loop/port_extractor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ind::loop {
+
+std::vector<double> log_frequency_sweep(double f_lo, double f_hi, int points) {
+  if (f_lo <= 0.0 || f_hi <= f_lo || points < 2)
+    throw std::invalid_argument("log_frequency_sweep: bad range");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double ratio = std::log(f_hi / f_lo) / (points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(f_lo * std::exp(ratio * i));
+  return out;
+}
+
+std::vector<LoopImpedance> extract_loop_rl(
+    const geom::Layout& layout, int signal_net,
+    const std::vector<double>& frequencies, const LoopExtractionOptions& opts) {
+  const geom::Layout refined = geom::refine(layout, opts.max_segment_length);
+
+  // Signal conductors plus every return conductor (the extraction ignores
+  // capacitance, so only the conductive paths matter).
+  std::vector<geom::Segment> conductors;
+  auto is_return = [&](geom::NetKind k) {
+    return k == geom::NetKind::Ground || k == geom::NetKind::Shield ||
+           (opts.include_power_as_return && k == geom::NetKind::Power);
+  };
+  for (const geom::Segment& s : refined.segments())
+    if (s.net == signal_net || is_return(s.kind)) conductors.push_back(s);
+  if (conductors.empty())
+    throw std::invalid_argument("extract_loop_rl: no conductors for net");
+
+  std::vector<geom::Via> vias;
+  for (const geom::Via& v : refined.vias()) {
+    if (v.net < 0) continue;
+    const geom::NetKind kind = refined.net(v.net).kind;
+    if (v.net == signal_net || is_return(kind)) vias.push_back(v);
+  }
+
+  MqsSolver solver(conductors, vias, refined.tech(), opts.mqs);
+
+  // Port at the driver; receiver ends shorted to local ground.
+  const geom::Driver* driver = nullptr;
+  for (const geom::Driver& d : refined.drivers())
+    if (d.signal_net == signal_net) {
+      driver = &d;
+      break;
+    }
+  if (!driver)
+    throw std::invalid_argument("extract_loop_rl: net has no driver");
+  const auto plus = solver.node_at(driver->at, driver->layer);
+  if (!plus)
+    throw std::runtime_error("extract_loop_rl: driver not on signal metal");
+  auto minus = solver.nearest_node(driver->at, geom::NetKind::Ground);
+  if (!minus) minus = solver.nearest_node(driver->at, geom::NetKind::Shield);
+  if (!minus)
+    throw std::runtime_error("extract_loop_rl: no return conductor");
+
+  for (const geom::Receiver& r : refined.receivers()) {
+    if (r.signal_net != signal_net) continue;
+    const auto pin = solver.node_at(r.at, r.layer);
+    auto gnd = solver.nearest_node(r.at, geom::NetKind::Ground);
+    if (!gnd) gnd = solver.nearest_node(r.at, geom::NetKind::Shield);
+    if (pin && gnd) solver.short_nodes(*pin, *gnd);
+  }
+
+  std::vector<LoopImpedance> sweep;
+  sweep.reserve(frequencies.size());
+  for (double f : frequencies)
+    sweep.push_back(solver.port_impedance(*plus, *minus, f));
+  return sweep;
+}
+
+}  // namespace ind::loop

@@ -1,0 +1,34 @@
+// Section-5 loop extraction flow: "The loop inductance model defines a port
+// at the driver side of the signal line and shorts the receiver side (which
+// actually sees a capacitive load) to the local ground, since inductance
+// extraction is performed independent of capacitance. Typically, an
+// extraction tool such as FastHenry is used to obtain the impedance over a
+// frequency range."
+#pragma once
+
+#include <vector>
+
+#include "geom/layout.hpp"
+#include "loop/mqs_solver.hpp"
+
+namespace ind::loop {
+
+struct LoopExtractionOptions {
+  MqsOptions mqs{};
+  double max_segment_length = geom::um(100.0);
+  bool include_power_as_return = true;  ///< let VDD straps carry return too
+};
+
+/// Extracts loop R(f) and L(f) for `signal_net`: the port sits between the
+/// driver-end signal node and the nearest ground node; every receiver end is
+/// shorted to its local ground. The layout must carry a driver (and usually
+/// receivers) for the net.
+std::vector<LoopImpedance> extract_loop_rl(
+    const geom::Layout& layout, int signal_net,
+    const std::vector<double>& frequencies,
+    const LoopExtractionOptions& opts = {});
+
+/// Logarithmically spaced frequency grid [f_lo, f_hi], inclusive.
+std::vector<double> log_frequency_sweep(double f_lo, double f_hi, int points);
+
+}  // namespace ind::loop

@@ -1,0 +1,82 @@
+#include "mor/prima.hpp"
+
+#include <stdexcept>
+
+#include "la/lu.hpp"
+#include "la/qr.hpp"
+
+namespace ind::mor {
+
+ReducedModel prima_reduce(const la::Matrix& g, const la::Matrix& c,
+                          const la::Matrix& b, const la::Matrix& l,
+                          const PrimaOptions& opts) {
+  const std::size_t n = g.rows();
+  if (g.cols() != n || c.rows() != n || c.cols() != n || b.rows() != n ||
+      l.rows() != n)
+    throw std::invalid_argument("prima_reduce: dimension mismatch");
+  if (b.cols() == 0)
+    throw std::invalid_argument("prima_reduce: no input columns");
+
+  // A = (G + s0 C)^{-1}; factor once, reuse for every Krylov block.
+  la::Matrix shifted = g;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) shifted(i, j) += opts.s0 * c(i, j);
+  const la::LU factor(std::move(shifted));
+
+  // First block: orth((G + s0 C)^{-1} B).
+  la::Matrix basis(n, 0);
+  la::Matrix block = factor.solve(b);
+  while (basis.cols() < opts.max_order) {
+    const la::QrResult qr =
+        la::orthonormalize_against(block, basis, opts.deflation_tol);
+    if (qr.rank == 0) break;  // Krylov space exhausted
+    // Append, truncating to the order budget.
+    const std::size_t take =
+        std::min<std::size_t>(qr.rank, opts.max_order - basis.cols());
+    la::Matrix taken(n, take);
+    for (std::size_t j = 0; j < take; ++j)
+      for (std::size_t i = 0; i < n; ++i) taken(i, j) = qr.q(i, j);
+    basis = la::hcat(basis, taken);
+    if (basis.cols() >= opts.max_order) break;
+    // Next block: A * C * (new columns).
+    block = factor.solve(c * taken);
+  }
+  if (basis.cols() == 0)
+    throw std::runtime_error("prima_reduce: empty projection basis");
+
+  ReducedModel r;
+  r.v = basis;
+  const la::Matrix vt = basis.transposed();
+  r.g = vt * (g * basis);
+  r.c = vt * (c * basis);
+  r.b = vt * b;
+  r.l = vt * l;
+  return r;
+}
+
+la::CMatrix transfer_function(const la::Matrix& g, const la::Matrix& c,
+                              const la::Matrix& b, const la::Matrix& l,
+                              double omega) {
+  const std::size_t n = g.rows();
+  la::CMatrix a(n, n);
+  const la::Complex jw{0.0, omega};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = la::Complex{g(i, j), 0.0} + jw * c(i, j);
+  const la::CLU factor(std::move(a));
+
+  la::CMatrix h(l.cols(), b.cols());
+  la::CVector col(n);
+  for (std::size_t p = 0; p < b.cols(); ++p) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, p);
+    const la::CVector x = factor.solve(col);
+    for (std::size_t m = 0; m < l.cols(); ++m) {
+      la::Complex acc{};
+      for (std::size_t i = 0; i < n; ++i) acc += l(i, m) * x[i];
+      h(m, p) = acc;
+    }
+  }
+  return h;
+}
+
+}  // namespace ind::mor

@@ -1,0 +1,50 @@
+// PRIMA: Passive Reduced-order Interconnect Macromodeling Algorithm
+// (Odabasioglu et al. [20]; Section 4 of the paper).
+//
+// Given the MNA system  G x + C x' = B u,  y = L^T x,  PRIMA builds an
+// orthonormal basis V of the block Krylov subspace
+//   Kr((G + s0 C)^{-1} C, (G + s0 C)^{-1} B)
+// and reduces by congruence: Gr = V^T G V, Cr = V^T C V, Br = V^T B,
+// Lr = V^T L. Congruence preserves passivity when G, C satisfy the usual
+// MNA semidefiniteness structure.
+//
+// The paper's combined flow [4] additionally distinguishes *active ports*
+// (driver attachment points, excited) from *passive sinks* (observed only):
+// that variant simply passes the sink selectors in L rather than B, which
+// shrinks the Krylov block width and the reduction cost.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace ind::mor {
+
+struct PrimaOptions {
+  std::size_t max_order = 40;        ///< max columns of V
+  double s0 = 2.0 * 3.141592653589793 * 1e9;  ///< expansion point (rad/s)
+  double deflation_tol = 1e-10;
+};
+
+struct ReducedModel {
+  la::Matrix g;  ///< q x q
+  la::Matrix c;  ///< q x q
+  la::Matrix b;  ///< q x p   (reduced inputs)
+  la::Matrix l;  ///< q x m   (reduced output selectors)
+  la::Matrix v;  ///< n x q   (projection basis)
+
+  std::size_t order() const { return g.rows(); }
+};
+
+/// Reduces (G, C, B, L). Throws la::SingularMatrixError if (G + s0 C) is
+/// singular (e.g. floating subcircuits without gmin).
+ReducedModel prima_reduce(const la::Matrix& g, const la::Matrix& c,
+                          const la::Matrix& b, const la::Matrix& l,
+                          const PrimaOptions& opts = {});
+
+/// Transfer function H(s) = L^T (G + s C)^{-1} B of a (reduced or full)
+/// system, evaluated at s = j*omega. Used to validate the reduction.
+la::CMatrix transfer_function(const la::Matrix& g, const la::Matrix& c,
+                              const la::Matrix& b, const la::Matrix& l,
+                              double omega);
+
+}  // namespace ind::mor

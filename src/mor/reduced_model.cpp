@@ -1,0 +1,169 @@
+#include "mor/reduced_model.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/lu.hpp"
+
+namespace ind::mor {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Port-space conductance matrix of the drivers at time t.
+la::Matrix driver_conductance(const std::vector<CosimDriver>& drivers,
+                              std::size_t n_ports, double t) {
+  la::Matrix d(n_ports, n_ports);
+  auto stamp = [&](std::size_t a, std::size_t b, double g) {
+    if (a != kGroundPort) d(a, a) += g;
+    if (b != kGroundPort) d(b, b) += g;
+    if (a != kGroundPort && b != kGroundPort) {
+      d(a, b) -= g;
+      d(b, a) -= g;
+    }
+  };
+  for (const CosimDriver& drv : drivers) {
+    stamp(drv.out_port, drv.vdd_port, drv.dynamics.g_up(t));
+    stamp(drv.out_port, drv.gnd_port, drv.dynamics.g_dn(t));
+  }
+  return d;
+}
+
+std::vector<double> driver_state(const std::vector<CosimDriver>& drivers,
+                                 double t) {
+  std::vector<double> s;
+  s.reserve(2 * drivers.size());
+  for (const CosimDriver& d : drivers) {
+    s.push_back(d.dynamics.g_up(t));
+    s.push_back(d.dynamics.g_dn(t));
+  }
+  return s;
+}
+
+}  // namespace
+
+CosimResult simulate_reduced(const ReducedModel& model,
+                             const CosimInputs& inputs,
+                             const CosimOptions& options) {
+  const std::size_t q = model.order();
+  const std::size_t p_src = inputs.source_waveforms.size();
+  if (model.b.cols() < p_src)
+    throw std::invalid_argument("simulate_reduced: more waveforms than inputs");
+  const std::size_t p_port = model.b.cols() - p_src;
+  for (const CosimDriver& d : inputs.drivers)
+    for (std::size_t port : {d.out_port, d.vdd_port, d.gnd_port})
+      if (port != kGroundPort && port >= p_port)
+        throw std::invalid_argument("simulate_reduced: driver port out of range");
+
+  // Split B into source and port blocks.
+  la::Matrix b_src(q, p_src), p_mat(q, p_port);
+  for (std::size_t i = 0; i < q; ++i) {
+    for (std::size_t j = 0; j < p_src; ++j) b_src(i, j) = model.b(i, j);
+    for (std::size_t j = 0; j < p_port; ++j) p_mat(i, j) = model.b(i, p_src + j);
+  }
+  const la::Matrix p_t = p_mat.transposed();
+
+  const double h = options.dt;
+  CosimResult result;
+  result.outputs.assign(model.l.cols(), {});
+
+  auto src_vec = [&](double t) {
+    la::Vector u(p_src);
+    for (std::size_t k = 0; k < p_src; ++k) u[k] = inputs.source_waveforms[k](t);
+    return u;
+  };
+
+  auto system_matrix = [&](double c_scale, double t) {
+    la::Matrix a = model.g;
+    for (std::size_t i = 0; i < q; ++i)
+      for (std::size_t j = 0; j < q; ++j) a(i, j) += c_scale * model.c(i, j);
+    if (p_port > 0) {
+      const la::Matrix pd = p_mat * driver_conductance(inputs.drivers, p_port, t);
+      const la::Matrix pdp = pd * p_t;
+      for (std::size_t i = 0; i < q; ++i)
+        for (std::size_t j = 0; j < q; ++j) a(i, j) += pdp(i, j);
+    }
+    return a;
+  };
+
+  // DC operating point. A heavily truncated projection basis can leave the
+  // reduced conductance matrix singular at DC (some basis directions have no
+  // conductive component); regularise with a vanishing diagonal shift —
+  // the transient matrices (which add (2/h)C) are unaffected.
+  la::Vector x;
+  {
+    const la::Vector u0 = src_vec(0.0);
+    la::Matrix g0 = system_matrix(0.0, 0.0);
+    try {
+      x = la::LU(g0).solve(b_src.apply(u0));
+    } catch (const la::SingularMatrixError&) {
+      double scale = 0.0;
+      for (std::size_t i = 0; i < q; ++i)
+        scale = std::max(scale, std::abs(g0(i, i)));
+      for (std::size_t i = 0; i < q; ++i) g0(i, i) += 1e-9 * (scale + 1e-12);
+      x = la::LU(std::move(g0)).solve(b_src.apply(u0));
+    }
+  }
+
+  const std::size_t steps =
+      static_cast<std::size_t>(std::ceil(options.t_stop / h));
+  result.time.reserve(steps + 1);
+  for (auto& o : result.outputs) o.reserve(steps + 1);
+  auto record = [&](double t) {
+    result.time.push_back(t);
+    const la::Vector y = model.l.apply_transposed(x);
+    for (std::size_t m = 0; m < y.size(); ++m) result.outputs[m].push_back(y[m]);
+  };
+  record(0.0);
+
+  la::LU factor;
+  std::vector<double> factored_state;
+  auto refactor = [&](double t) {
+    const auto t0 = Clock::now();
+    factor = la::LU(system_matrix(2.0 / h, t));
+    factored_state = driver_state(inputs.drivers, t);
+    ++result.refactor_count;
+    result.factor_seconds += seconds_since(t0);
+  };
+  refactor(h);
+
+  la::Vector u_prev = src_vec(0.0);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t_prev = (k - 1) * h;
+    const double t_next = k * h;
+    if (driver_state(inputs.drivers, t_next) != factored_state)
+      refactor(t_next);
+
+    const auto t0 = Clock::now();
+    const la::Vector u_next = src_vec(t_next);
+    // rhs = (2/h)C x0 - G x0 + P i0 + B_src (u0 + u1),  i0 = -D0 P^T x0.
+    la::Vector rhs = model.c.apply(x);
+    for (double& v : rhs) v *= 2.0 / h;
+    const la::Vector gx = model.g.apply(x);
+    for (std::size_t i = 0; i < q; ++i) rhs[i] -= gx[i];
+    if (p_port > 0) {
+      const la::Vector v0 = p_t.apply(x);
+      const la::Vector i0 =
+          driver_conductance(inputs.drivers, p_port, t_prev).apply(v0);
+      const la::Vector pi0 = p_mat.apply(i0);
+      for (std::size_t i = 0; i < q; ++i) rhs[i] -= pi0[i];
+    }
+    la::Vector u_sum(p_src);
+    for (std::size_t s = 0; s < p_src; ++s) u_sum[s] = u_prev[s] + u_next[s];
+    const la::Vector bu = b_src.apply(u_sum);
+    for (std::size_t i = 0; i < q; ++i) rhs[i] += bu[i];
+
+    x = factor.solve(rhs);
+    u_prev = u_next;
+    result.step_seconds += seconds_since(t0);
+    record(t_next);
+  }
+  return result;
+}
+
+}  // namespace ind::mor

@@ -1,0 +1,17 @@
+#include "peec/decap.hpp"
+
+#include <stdexcept>
+
+namespace ind::peec {
+
+double estimate_block_decap(double total_transistor_width_m,
+                            double switching_fraction, double cap_per_width) {
+  if (switching_fraction < 0.0 || switching_fraction > 1.0)
+    throw std::invalid_argument(
+        "estimate_block_decap: switching_fraction outside [0,1]");
+  if (total_transistor_width_m < 0.0)
+    throw std::invalid_argument("estimate_block_decap: negative width");
+  return cap_per_width * total_transistor_width_m * (1.0 - switching_fraction);
+}
+
+}  // namespace ind::peec

@@ -1,0 +1,38 @@
+// Statistical device decoupling-capacitance model (Section 3, [12]).
+//
+// "During normal chip operation, approximately 10-20% of the gates switch
+// while the remaining 80-90% remain static. The parasitic device capacitance
+// of these non-switching gates results in a significant decoupling
+// capacitance effect." The paper estimates this with a statistical model
+// applied per circuit block, scaled by total transistor width. We implement
+// that aggregate model directly: the grid sees a distributed series-RC
+// between the power and ground meshes.
+#pragma once
+
+#include <cstdint>
+
+namespace ind::peec {
+
+struct DecapOptions {
+  bool enable = true;
+  /// Aggregate non-switching device capacitance distributed over the grid.
+  double total_capacitance = 200e-12;  // farads
+  /// Effective channel/series time constant of the decap (R_site = tau/C_site).
+  double series_tau = 20e-12;  // seconds
+  /// Number of distributed attachment sites on the lowest grid layer.
+  int sites = 64;
+};
+
+/// Statistical estimate from block-level parameters, following [12]:
+/// capacitance scales with the total transistor width of the non-switching
+/// fraction of the block.
+///
+///   C_decap = c_gate_per_width * W_total * (1 - switching_fraction)
+///
+/// with c_gate_per_width representative of a 0.18 um process
+/// (~1.5 fF per um of transistor width, gate + junction).
+double estimate_block_decap(double total_transistor_width_m,
+                            double switching_fraction,
+                            double cap_per_width = 1.5e-15 / 1e-6);
+
+}  // namespace ind::peec

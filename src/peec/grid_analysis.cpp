@@ -1,0 +1,64 @@
+#include "peec/grid_analysis.hpp"
+
+#include <stdexcept>
+
+#include "circuit/mna.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace ind::peec {
+
+IrDropReport static_ir_drop(const PeecModel& model, const IrDropOptions& opts) {
+  // Collect the distributed draw sites: power node -> nearest ground node.
+  std::vector<circuit::NodeId> power_nodes, ground_nodes;
+  for (std::size_t i = 0; i < model.nodes.size(); ++i) {
+    if (model.nodes[i].kind == geom::NetKind::Power)
+      power_nodes.push_back(static_cast<circuit::NodeId>(i));
+    if (model.nodes[i].kind == geom::NetKind::Ground)
+      ground_nodes.push_back(static_cast<circuit::NodeId>(i));
+  }
+  if (power_nodes.empty() || ground_nodes.empty())
+    throw std::invalid_argument("static_ir_drop: model has no P/G networks");
+  const std::size_t sites =
+      std::min<std::size_t>(std::max(opts.load_sites, 1), power_nodes.size());
+  const double i_site = opts.total_current / static_cast<double>(sites);
+  const std::size_t stride =
+      std::max<std::size_t>(1, power_nodes.size() / sites);
+
+  // DC system: G(t -> settled drivers) x = b, loads added directly.
+  const circuit::Mna mna(model.netlist);
+  la::TripletMatrix g, c;
+  mna.stamp_static(g, c);
+  mna.stamp_drivers(g, 1e12);
+  la::Vector b;
+  mna.rhs(0.0, b);
+  for (std::size_t k = 0; k < sites; ++k) {
+    const circuit::NodeId p = power_nodes[(k * stride) % power_nodes.size()];
+    const circuit::NodeId gn =
+        model.nearest_node(model.nodes[static_cast<std::size_t>(p)].at,
+                           geom::NetKind::Ground);
+    b[static_cast<std::size_t>(p)] -= i_site;
+    if (gn >= 0) b[static_cast<std::size_t>(gn)] += i_site;
+  }
+
+  IrDropReport report;
+  report.node_voltages = la::SparseLu(la::CscMatrix(g)).solve(b);
+
+  for (const circuit::NodeId p : power_nodes) {
+    const double droop =
+        model.vdd_volts - report.node_voltages[static_cast<std::size_t>(p)];
+    if (droop > report.worst_vdd_droop) {
+      report.worst_vdd_droop = droop;
+      report.worst_vdd_node = p;
+    }
+  }
+  for (const circuit::NodeId gn : ground_nodes) {
+    const double bounce = report.node_voltages[static_cast<std::size_t>(gn)];
+    if (bounce > report.worst_gnd_bounce) {
+      report.worst_gnd_bounce = bounce;
+      report.worst_gnd_node = gn;
+    }
+  }
+  return report;
+}
+
+}  // namespace ind::peec

@@ -1,0 +1,33 @@
+// Power-grid IR-drop analysis (the [12] substrate: "Model and analysis for
+// combined package and on-chip power grid simulation").
+//
+// Static analysis replaces the switching gates by DC current loads drawn
+// from the grid at distributed sites and reports the worst VDD droop / GND
+// bounce — the quantity the decap and pad placement of Section 3 exist to
+// control. The transient counterpart is the ordinary `circuit::transient`
+// run on the same model with background sources enabled.
+#pragma once
+
+#include "peec/model_builder.hpp"
+
+namespace ind::peec {
+
+struct IrDropOptions {
+  double total_current = 50e-3;  ///< amps drawn by the logic
+  int load_sites = 32;           ///< distributed draw points
+};
+
+struct IrDropReport {
+  double worst_vdd_droop = 0.0;   ///< volts below nominal VDD
+  double worst_gnd_bounce = 0.0;  ///< volts above 0
+  circuit::NodeId worst_vdd_node = circuit::kGround;
+  circuit::NodeId worst_gnd_node = circuit::kGround;
+  la::Vector node_voltages;       ///< full DC solution (MNA order)
+};
+
+/// Static IR-drop of the model's grid. The model must contain a power and a
+/// ground network (pads included); inductors are DC shorts, capacitors open.
+IrDropReport static_ir_drop(const PeecModel& model,
+                            const IrDropOptions& opts = {});
+
+}  // namespace ind::peec

@@ -1,0 +1,365 @@
+#include "peec/model_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ind::peec {
+namespace {
+
+using geom::Layout;
+using geom::NetKind;
+using geom::Point;
+using geom::Segment;
+
+}  // namespace
+
+geom::Layout refine_layout(const geom::Layout& input,
+                           double max_segment_length) {
+  return geom::refine(input, max_segment_length);
+}
+
+circuit::NodeId PeecModel::nearest_node(geom::Point p, NetKind kind) const {
+  circuit::NodeId best = circuit::kGround;
+  double best_d = 1e300;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind != kind) continue;
+    const double d = geom::distance(nodes[i].at, p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<circuit::NodeId>(i);
+    }
+  }
+  return best;
+}
+
+PeecModel build_peec_model(const geom::Layout& input, const PeecOptions& opts) {
+  // Reject physically shorted layouts early: cross-net metal overlap on one
+  // layer would otherwise surface as silently merged or floating nodes.
+  if (const auto shorts = geom::find_layout_shorts(input); !shorts.empty()) {
+    const auto& [i, j] = shorts.front();
+    throw std::invalid_argument(
+        "build_peec_model: layout has " + std::to_string(shorts.size()) +
+        " cross-net short(s); first between segments " + std::to_string(i) +
+        " and " + std::to_string(j) + " on layer " +
+        std::to_string(input.segments()[i].layer));
+  }
+  PeecModel m;
+  m.vdd_volts = opts.vdd;
+  m.layout = refine_layout(input, opts.max_segment_length);
+
+  extract::ExtractionOptions xopts;
+  xopts.mutual_window = opts.mutual_window;
+  xopts.coupling_window = opts.coupling_window;
+  xopts.extract_inductance = !opts.rc_only;
+  m.extraction = extract::extract(m.layout, xopts);
+
+  const auto& segs = m.layout.segments();
+  circuit::Netlist& nl = m.netlist;
+
+  // --- node management: snap coordinates so touching endpoints merge.
+  std::unordered_map<std::uint64_t, circuit::NodeId> node_map;
+  const double snap = opts.snap;
+  auto key_of = [&](const Point& p, int layer) {
+    const auto qx = static_cast<std::int64_t>(std::llround(p.x / snap));
+    const auto qy = static_cast<std::int64_t>(std::llround(p.y / snap));
+    // Pack layer|x|y into one 64-bit key (coordinates fit in 28 bits at
+    // 1 nm snap over a +-13 cm span — far beyond any die).
+    const std::uint64_t ux = static_cast<std::uint64_t>(qx + (1LL << 27));
+    const std::uint64_t uy = static_cast<std::uint64_t>(qy + (1LL << 27));
+    return (static_cast<std::uint64_t>(layer) << 56) | (ux << 28) | uy;
+  };
+  auto get_node = [&](const Point& p, int layer, int net, NetKind kind) {
+    const std::uint64_t key = key_of(p, layer);
+    const auto it = node_map.find(key);
+    if (it != node_map.end()) return it->second;
+    const circuit::NodeId id = nl.make_node();
+    node_map.emplace(key, id);
+    m.nodes.push_back({p, layer, net, kind});
+    return id;
+  };
+  auto find_node = [&](const Point& p, int layer) -> circuit::NodeId {
+    const auto it = node_map.find(key_of(p, layer));
+    return it == node_map.end() ? circuit::kGround : it->second;
+  };
+  auto make_internal_node = [&](const Point& p, int layer, int net,
+                                NetKind kind) {
+    const circuit::NodeId id = nl.make_node();
+    m.nodes.push_back({p, layer, net, kind});
+    return id;
+  };
+
+  // --- substrate mesh (optional): a resistive bulk grid under the die.
+  int sub_nx = 0, sub_ny = 0;
+  double sub_px = 1.0, sub_py = 1.0;
+  geom::Point sub_origin{0.0, 0.0};
+  if (opts.substrate.enable && !segs.empty()) {
+    const auto [lo, hi] = m.layout.bounding_box();
+    sub_origin = lo;
+    auto axis_count = [&](double extent) {
+      const int raw =
+          static_cast<int>(std::ceil(extent / opts.substrate.pitch)) + 1;
+      return std::clamp(raw, 2, opts.substrate.max_nodes_per_axis);
+    };
+    sub_nx = axis_count(hi.x - lo.x);
+    sub_ny = axis_count(hi.y - lo.y);
+    sub_px = sub_nx > 1 ? (hi.x - lo.x) / (sub_nx - 1) : 1.0;
+    sub_py = sub_ny > 1 ? (hi.y - lo.y) / (sub_ny - 1) : 1.0;
+    for (int iy = 0; iy < sub_ny; ++iy)
+      for (int ix = 0; ix < sub_nx; ++ix)
+        m.substrate_nodes.push_back(make_internal_node(
+            {lo.x + ix * sub_px, lo.y + iy * sub_py}, 0, -1,
+            NetKind::Substrate));
+    // Mesh resistors: sheet model, R = rho_sq * length / width.
+    const double rs = opts.substrate.sheet_resistance;
+    auto sub_at = [&](int ix, int iy) {
+      return m.substrate_nodes[static_cast<std::size_t>(iy * sub_nx + ix)];
+    };
+    for (int iy = 0; iy < sub_ny; ++iy)
+      for (int ix = 0; ix < sub_nx; ++ix) {
+        if (ix + 1 < sub_nx)
+          nl.add_resistor(sub_at(ix, iy), sub_at(ix + 1, iy),
+                          std::max(rs * sub_px / sub_py, 1e-3));
+        if (iy + 1 < sub_ny)
+          nl.add_resistor(sub_at(ix, iy), sub_at(ix, iy + 1),
+                          std::max(rs * sub_py / sub_px, 1e-3));
+      }
+  }
+  auto ground_reference = [&](const geom::Point& p) -> circuit::NodeId {
+    if (m.substrate_nodes.empty()) return circuit::kGround;
+    const int ix = std::clamp(
+        static_cast<int>(std::lround((p.x - sub_origin.x) / sub_px)), 0,
+        sub_nx - 1);
+    const int iy = std::clamp(
+        static_cast<int>(std::lround((p.y - sub_origin.y) / sub_py)), 0,
+        sub_ny - 1);
+    return m.substrate_nodes[static_cast<std::size_t>(iy * sub_nx + ix)];
+  };
+
+  // --- RLC-pi stage per segment.
+  m.seg_a.resize(segs.size());
+  m.seg_b.resize(segs.size());
+  m.seg_inductor.assign(segs.size(), kNoInductor);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const Segment& s = segs[i];
+    const circuit::NodeId na = get_node(s.a, s.layer, s.net, s.kind);
+    const circuit::NodeId nb = get_node(s.b, s.layer, s.net, s.kind);
+    m.seg_a[i] = na;
+    m.seg_b[i] = nb;
+    const double r = std::max(m.extraction.resistance[i], 1e-6);
+    if (opts.rc_only) {
+      nl.add_resistor(na, nb, r);
+    } else {
+      const circuit::NodeId mid =
+          make_internal_node(s.center(), s.layer, s.net, s.kind);
+      // Branch current a -> mid matches the segment orientation used for
+      // the mutual-inductance signs.
+      m.seg_inductor[i] = nl.add_inductor(na, mid, m.extraction.partial_l(i, i));
+      nl.add_resistor(mid, nb, r);
+    }
+    // Interconnect ground capacitance terminates on the bulk when the
+    // substrate mesh is modelled, on the ideal reference otherwise.
+    const double cg = 0.5 * m.extraction.ground_cap[i];
+    nl.add_capacitor(na, ground_reference(s.a), cg);
+    nl.add_capacitor(nb, ground_reference(s.b), cg);
+  }
+
+  // --- coupling capacitance split across the nearer end pairs.
+  for (const extract::CouplingCap& cc : m.extraction.coupling) {
+    const Segment& si = segs[cc.i];
+    const Segment& sj = segs[cc.j];
+    const bool straight = geom::distance(si.a, sj.a) + geom::distance(si.b, sj.b) <=
+                          geom::distance(si.a, sj.b) + geom::distance(si.b, sj.a);
+    const circuit::NodeId ja = straight ? m.seg_a[cc.j] : m.seg_b[cc.j];
+    const circuit::NodeId jb = straight ? m.seg_b[cc.j] : m.seg_a[cc.j];
+    nl.add_capacitor(m.seg_a[cc.i], ja, 0.5 * cc.value);
+    nl.add_capacitor(m.seg_b[cc.i], jb, 0.5 * cc.value);
+  }
+
+  // --- vias.
+  for (std::size_t v = 0; v < m.layout.vias().size(); ++v) {
+    const geom::Via& via = m.layout.vias()[v];
+    const circuit::NodeId lo = find_node(via.at, via.lower_layer);
+    const circuit::NodeId hi = find_node(via.at, via.upper_layer);
+    if (lo < 0 || hi < 0 || lo == hi) continue;  // no metal at one end
+    nl.add_resistor(lo, hi, std::max(m.extraction.via_resistance[v], 1e-6));
+  }
+
+  // --- ideal external supply (package planes are ideal, Section 3).
+  auto ensure_ideal_vdd = [&]() {
+    if (m.ideal_vdd == circuit::kGround) {
+      m.ideal_vdd = make_internal_node({0, 0}, 0, -1, NetKind::Power);
+      nl.add_vsource(m.ideal_vdd, circuit::kGround,
+                     circuit::Pwl::constant(opts.vdd));
+    }
+    return m.ideal_vdd;
+  };
+
+  // --- pads: series R (+L unless RC-only) to the ideal planes.
+  if (opts.package.include) {
+    for (const geom::Pad& pad : m.layout.pads()) {
+      const circuit::NodeId chip = find_node(pad.at, pad.layer);
+      if (chip < 0) continue;  // pad over empty metal
+      const circuit::NodeId ideal = pad.kind == NetKind::Power
+                                        ? ensure_ideal_vdd()
+                                        : circuit::kGround;
+      const PadImpedance z = pad_impedance(pad, opts.package);
+      if (opts.rc_only || z.inductance <= 0.0) {
+        nl.add_resistor(chip, ideal, std::max(z.resistance, 1e-6));
+      } else {
+        const circuit::NodeId mid =
+            make_internal_node(pad.at, pad.layer, -1, pad.kind);
+        nl.add_inductor(chip, mid, z.inductance);
+        nl.add_resistor(mid, ideal, std::max(z.resistance, 1e-6));
+      }
+    }
+  }
+
+  const bool has_power_grid =
+      m.nearest_node({0, 0}, NetKind::Power) != circuit::kGround;
+  const bool has_ground_grid =
+      m.nearest_node({0, 0}, NetKind::Ground) != circuit::kGround;
+
+  // --- drivers: switched resistors between the output and the local rails.
+  for (const geom::Driver& d : m.layout.drivers()) {
+    circuit::NodeId out = find_node(d.at, d.layer);
+    if (out < 0)
+      throw std::runtime_error("build_peec_model: driver '" + d.name +
+                               "' not on any wire");
+    const circuit::NodeId vdd_node =
+        has_power_grid ? m.nearest_node(d.at, NetKind::Power)
+                       : ensure_ideal_vdd();
+    const circuit::NodeId gnd_node =
+        has_ground_grid ? m.nearest_node(d.at, NetKind::Ground)
+                        : circuit::kGround;
+    circuit::SwitchedDriver drv;
+    drv.out = out;
+    drv.vdd = vdd_node;
+    drv.gnd = gnd_node;
+    drv.pull_ohms = d.strength_ohm;
+    drv.slew = d.slew;
+    drv.start = d.start_time;
+    drv.rising = d.rising;
+    drv.name = d.name;
+    m.driver_indices.push_back(nl.add_driver(std::move(drv)));
+  }
+
+  // --- receivers: gate capacitance split between the local rails, so both
+  // the charge current I2 (to ground) and discharge current I3 (to power)
+  // of Fig. 1 exist.
+  for (const geom::Receiver& r : m.layout.receivers()) {
+    circuit::NodeId pin = find_node(r.at, r.layer);
+    if (pin < 0)
+      throw std::runtime_error("build_peec_model: receiver '" + r.name +
+                               "' not on any wire");
+    const circuit::NodeId gnd_node =
+        has_ground_grid ? m.nearest_node(r.at, NetKind::Ground)
+                        : circuit::kGround;
+    const circuit::NodeId vdd_node =
+        has_power_grid ? m.nearest_node(r.at, NetKind::Power)
+                       : ensure_ideal_vdd();
+    nl.add_capacitor(pin, gnd_node, 0.5 * r.load_cap);
+    nl.add_capacitor(pin, vdd_node, 0.5 * r.load_cap);
+    m.receiver_probes.push_back({circuit::ProbeKind::NodeVoltage,
+                                 static_cast<std::size_t>(pin), r.name});
+    m.receiver_names.push_back(r.name);
+  }
+
+  // --- distributed decoupling capacitance between the grids.
+  if (opts.decap.enable && has_power_grid && has_ground_grid &&
+      opts.decap.sites > 0) {
+    std::vector<circuit::NodeId> power_nodes;
+    for (std::size_t i = 0; i < m.nodes.size(); ++i)
+      if (m.nodes[i].kind == NetKind::Power)
+        power_nodes.push_back(static_cast<circuit::NodeId>(i));
+    const std::size_t sites =
+        std::min<std::size_t>(opts.decap.sites, power_nodes.size());
+    const double c_site = opts.decap.total_capacitance / sites;
+    const double r_site = std::max(opts.decap.series_tau / c_site, 1e-6);
+    const std::size_t stride = std::max<std::size_t>(1, power_nodes.size() / sites);
+    for (std::size_t k = 0; k < sites; ++k) {
+      const circuit::NodeId p = power_nodes[(k * stride) % power_nodes.size()];
+      const circuit::NodeId g = m.nearest_node(m.nodes[p].at, NetKind::Ground);
+      const circuit::NodeId mid =
+          make_internal_node(m.nodes[p].at, m.nodes[p].layer, -1,
+                             NetKind::Power);
+      nl.add_resistor(p, mid, r_site);
+      nl.add_capacitor(mid, g, c_site);
+    }
+  }
+
+  // --- background switching activity: time-varying current sources at
+  // pseudo-random grid locations.
+  if (opts.background.enable && has_power_grid && has_ground_grid) {
+    circuit::SwitchingProfileGenerator gen(opts.background.seed);
+    std::vector<circuit::NodeId> power_nodes;
+    for (std::size_t i = 0; i < m.nodes.size(); ++i)
+      if (m.nodes[i].kind == NetKind::Power)
+        power_nodes.push_back(static_cast<circuit::NodeId>(i));
+    for (int s = 0; s < opts.background.sources && !power_nodes.empty(); ++s) {
+      const std::size_t pick = static_cast<std::size_t>(
+          gen.uniform() * static_cast<double>(power_nodes.size()));
+      const circuit::NodeId p = power_nodes[std::min(pick, power_nodes.size() - 1)];
+      const circuit::NodeId g = m.nearest_node(m.nodes[p].at, NetKind::Ground);
+      nl.add_isource(p, g,
+                     gen.background_current(opts.background.window,
+                                            opts.background.peak_current,
+                                            opts.background.pulses));
+    }
+  }
+
+  // --- substrate taps and N-well junction capacitance.
+  if (!m.substrate_nodes.empty()) {
+    // Taps: evenly strided bulk nodes contact the ground network.
+    const std::size_t tap_count = std::min<std::size_t>(
+        std::max(1, 4 * opts.substrate.taps_per_side),
+        m.substrate_nodes.size());
+    const std::size_t stride =
+        std::max<std::size_t>(1, m.substrate_nodes.size() / tap_count);
+    for (std::size_t t = 0; t < tap_count; ++t) {
+      const circuit::NodeId sub =
+          m.substrate_nodes[(t * stride) % m.substrate_nodes.size()];
+      const circuit::NodeId gnd =
+          has_ground_grid
+              ? m.nearest_node(m.nodes[static_cast<std::size_t>(sub)].at,
+                               NetKind::Ground)
+              : circuit::kGround;
+      nl.add_resistor(sub, gnd, std::max(opts.substrate.tap_resistance, 1e-3));
+    }
+    // N-well junction capacitance from the power grid into the bulk.
+    if (has_power_grid && opts.substrate.nwell_cap_total > 0.0) {
+      std::vector<circuit::NodeId> power_nodes;
+      for (std::size_t i = 0; i < m.nodes.size(); ++i)
+        if (m.nodes[i].kind == NetKind::Power)
+          power_nodes.push_back(static_cast<circuit::NodeId>(i));
+      const std::size_t sites = std::min<std::size_t>(16, power_nodes.size());
+      if (sites > 0) {
+        const double c_site = opts.substrate.nwell_cap_total / sites;
+        const std::size_t pstride =
+            std::max<std::size_t>(1, power_nodes.size() / sites);
+        for (std::size_t k = 0; k < sites; ++k) {
+          const circuit::NodeId p =
+              power_nodes[(k * pstride) % power_nodes.size()];
+          nl.add_capacitor(
+              p, ground_reference(m.nodes[static_cast<std::size_t>(p)].at),
+              c_site);
+        }
+      }
+    }
+  }
+
+  // --- mutual inductances.
+  if (!opts.rc_only && opts.mutual_policy == PeecOptions::MutualPolicy::Full) {
+    for (std::size_t i = 0; i < segs.size(); ++i)
+      for (std::size_t j = i + 1; j < segs.size(); ++j)
+        if (m.extraction.partial_l(i, j) != 0.0)
+          nl.add_mutual(m.seg_inductor[i], m.seg_inductor[j],
+                        m.extraction.partial_l(i, j));
+  }
+
+  return m;
+}
+
+}  // namespace ind::peec

@@ -1,0 +1,122 @@
+// Detailed PEEC circuit-model builder (Section 3 of the paper).
+//
+// From a Layout it constructs the full partial-element equivalent circuit:
+//   * an RLC-pi stage per metal segment (R + partial self-L in series,
+//     half the grounded capacitance at each end),
+//   * mutual inductances between all pairs of parallel segments,
+//   * coupling capacitance between all pairs of adjacent lines,
+//   * via resistances between metal layers,
+//   * statistical decoupling capacitance for non-switching gates,
+//   * time-varying current sources for background switching activity,
+//   * pad resistance + inductance to ideal package planes,
+//   * switched-resistor drivers and capacitive receivers for the nets
+//     under analysis.
+//
+// The RC-only variant (Table 1's "PEEC (RC)" row) drops every inductive
+// element; the MutualPolicy::None variant keeps self inductances but defers
+// mutual stamping to a sparsification scheme (sparsify/).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "extract/extractor.hpp"
+#include "geom/layout.hpp"
+#include "peec/decap.hpp"
+#include "peec/package.hpp"
+
+namespace ind::peec {
+
+/// Substrate network (Section 3: the PEEC model "can also easily be
+/// extended to include substrate models, N-well capacitance"): a resistive
+/// mesh under the die. Interconnect ground capacitance then terminates on
+/// the bulk instead of an ideal plane, substrate taps tie the mesh to the
+/// ground grid, and the N-well junction capacitance couples the power grid
+/// into the bulk — the coupling path that makes "low-impedance substrate"
+/// matter for supply integrity.
+struct SubstrateOptions {
+  bool enable = false;
+  double pitch = geom::um(100.0);     ///< mesh node pitch
+  double sheet_resistance = 40.0;     ///< ohm/sq effective bulk sheet rho
+  double tap_resistance = 200.0;      ///< substrate contact resistance
+  int taps_per_side = 2;              ///< contacts to the ground grid
+  double nwell_cap_total = 50e-12;    ///< junction cap, power grid -> bulk
+  int max_nodes_per_axis = 24;        ///< mesh size clamp
+};
+
+struct BackgroundOptions {
+  bool enable = false;
+  int sources = 16;            ///< number of random attachment points
+  double peak_current = 5e-3;  ///< amps per source
+  int pulses = 4;              ///< switching events per source
+  double window = 2e-9;        ///< time span of the activity, seconds
+  std::uint64_t seed = 42;     ///< deterministic workload seed
+};
+
+struct PeecOptions {
+  bool rc_only = false;  ///< drop all inductance (the RC comparison model)
+  enum class MutualPolicy {
+    None,  ///< self inductances only; mutuals added later (sparsify/)
+    Full   ///< stamp every nonzero mutual of the extraction window
+  } mutual_policy = MutualPolicy::Full;
+  double mutual_window = 1e9;                     ///< metres
+  double coupling_window = geom::um(5.0);         ///< metres
+  double max_segment_length = geom::um(200.0);    ///< PEEC granularity
+  double vdd = 1.8;                               ///< volts
+  DecapOptions decap{};
+  BackgroundOptions background{};
+  PackageOptions package{};
+  SubstrateOptions substrate{};
+  double snap = 1e-9;  ///< node coordinate snapping, metres
+};
+
+inline constexpr std::size_t kNoInductor =
+    std::numeric_limits<std::size_t>::max();
+
+/// Everything known about an electrical node: where it is and what it is.
+struct NodeInfo {
+  geom::Point at;
+  int layer = 0;
+  int net = -1;
+  geom::NetKind kind = geom::NetKind::Signal;
+};
+
+struct PeecModel {
+  circuit::Netlist netlist;
+  geom::Layout layout;              ///< the refined layout actually modelled
+  extract::Extraction extraction;   ///< parasitics of `layout.segments()`
+
+  std::vector<circuit::NodeId> seg_a, seg_b;  ///< end nodes per segment
+  std::vector<std::size_t> seg_inductor;      ///< kNoInductor when RC-only
+  std::vector<NodeInfo> nodes;                ///< indexed by NodeId
+
+  circuit::NodeId ideal_vdd = circuit::kGround;  ///< package-side supply
+  std::vector<circuit::NodeId> substrate_nodes;  ///< bulk mesh (if enabled)
+
+  std::vector<circuit::Probe> receiver_probes;   ///< sink voltage probes
+  std::vector<std::string> receiver_names;
+  std::vector<std::size_t> driver_indices;       ///< netlist driver indices
+
+  double vdd_volts = 1.8;
+
+  /// Nearest node of the given kind to a point (any layer); kGround if the
+  /// model has no such node.
+  circuit::NodeId nearest_node(geom::Point p, geom::NetKind kind) const;
+
+  /// Element counts (Table 1 rows: Num. of R / C / L / # mutuals).
+  circuit::Netlist::Counts counts() const { return netlist.counts(); }
+};
+
+/// Builds the model. The input layout's wires may be arbitrarily long; the
+/// builder first cuts them at every electrical connection point (vias,
+/// drivers, receivers, pads) and then subdivides to `max_segment_length`.
+PeecModel build_peec_model(const geom::Layout& input, const PeecOptions& opts);
+
+/// The refinement pass alone (exposed for tests and for the loop extractor,
+/// which shares the node-splitting rules).
+geom::Layout refine_layout(const geom::Layout& input, double max_segment_length);
+
+}  // namespace ind::peec

@@ -1,0 +1,10 @@
+#include "peec/package.hpp"
+
+namespace ind::peec {
+
+PadImpedance pad_impedance(const geom::Pad& pad, const PackageOptions& opts) {
+  return {pad.resistance * opts.resistance_scale,
+          pad.inductance * opts.inductance_scale};
+}
+
+}  // namespace ind::peec

@@ -1,0 +1,29 @@
+// Pad / package model (Section 3).
+//
+// "The package is modeled as a bar, including the pad and a via between the
+// pad and package", with the package planes assumed ideal. Each supply pad
+// therefore contributes a lumped series R + L between the on-chip grid node
+// and an ideal external supply.
+#pragma once
+
+#include "geom/segment.hpp"
+
+namespace ind::peec {
+
+struct PackageOptions {
+  bool include = true;
+  /// Multipliers applied to every pad's own R/L (lets benches sweep package
+  /// quality without regenerating layouts).
+  double resistance_scale = 1.0;
+  double inductance_scale = 1.0;
+};
+
+/// Lumped pad model after scaling.
+struct PadImpedance {
+  double resistance = 0.0;
+  double inductance = 0.0;
+};
+
+PadImpedance pad_impedance(const geom::Pad& pad, const PackageOptions& opts);
+
+}  // namespace ind::peec

@@ -1,0 +1,38 @@
+#include "sparsify/block_diagonal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ind::sparsify {
+
+SparsifiedL block_diagonal(const la::Matrix& partial_l,
+                           const std::vector<int>& section_of) {
+  const std::size_t n = partial_l.rows();
+  if (section_of.size() != n)
+    throw std::invalid_argument("block_diagonal: section map size mismatch");
+  SparsifiedL out;
+  out.diag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.diag[i] = partial_l(i, i);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (partial_l(i, j) != 0.0 && section_of[i] == section_of[j])
+        out.terms.push_back({i, j, partial_l(i, j)});
+  return out;
+}
+
+std::vector<int> sections_by_strip(const std::vector<geom::Segment>& segments,
+                                   geom::Axis axis, double strip_width,
+                                   double origin) {
+  if (strip_width <= 0.0)
+    throw std::invalid_argument("sections_by_strip: strip_width <= 0");
+  std::vector<int> out;
+  out.reserve(segments.size());
+  for (const geom::Segment& s : segments) {
+    const geom::Point c = s.center();
+    const double coord = axis == geom::Axis::X ? c.x : c.y;
+    out.push_back(static_cast<int>(std::floor((coord - origin) / strip_width)));
+  }
+  return out;
+}
+
+}  // namespace ind::sparsify

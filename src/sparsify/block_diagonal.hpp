@@ -1,0 +1,27 @@
+// Block-diagonal sparsification (Section 4): partition the topology into
+// sections, keep all mutual couplings inside a section, drop all couplings
+// between sections. Because each retained block is a principal submatrix of
+// the (PSD) full matrix, the sparsified matrix is guaranteed positive
+// definite.
+#pragma once
+
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "la/dense_matrix.hpp"
+#include "sparsify/mutual_spec.hpp"
+
+namespace ind::sparsify {
+
+/// Keeps L_ij only when section_of[i] == section_of[j].
+SparsifiedL block_diagonal(const la::Matrix& partial_l,
+                           const std::vector<int>& section_of);
+
+/// Geometric sectioning: segments are assigned to vertical strips of the
+/// given width along `axis` (the paper places "the signal bus of interest in
+/// the middle of the corresponding section" — choose `origin` accordingly).
+std::vector<int> sections_by_strip(const std::vector<geom::Segment>& segments,
+                                   geom::Axis axis, double strip_width,
+                                   double origin = 0.0);
+
+}  // namespace ind::sparsify

@@ -1,0 +1,59 @@
+#include "sparsify/halo.hpp"
+
+#include <stdexcept>
+
+namespace ind::sparsify {
+namespace {
+
+bool is_return_kind(geom::NetKind k) {
+  return k == geom::NetKind::Power || k == geom::NetKind::Ground ||
+         k == geom::NetKind::Shield;
+}
+
+}  // namespace
+
+Halo halo_of(const std::vector<geom::Segment>& segments, std::size_t i) {
+  const geom::Segment& s = segments[i];
+  Halo h;
+  const double t0 = s.transverse();
+  for (std::size_t j = 0; j < segments.size(); ++j) {
+    if (j == i) continue;
+    const geom::Segment& g = segments[j];
+    if (!is_return_kind(g.kind)) continue;
+    const auto pg = geom::parallel_geometry(s, g);
+    if (!pg || pg->overlap <= 0.0) continue;  // must run alongside
+    const double t = g.transverse();
+    if (t < t0)
+      h.lo = std::max(h.lo, t);
+    else if (t > t0)
+      h.hi = std::min(h.hi, t);
+  }
+  return h;
+}
+
+SparsifiedL halo(const std::vector<geom::Segment>& segments,
+                 const la::Matrix& partial_l) {
+  const std::size_t n = segments.size();
+  if (partial_l.rows() != n)
+    throw std::invalid_argument("halo: matrix/segment size mismatch");
+
+  std::vector<Halo> halos(n);
+  for (std::size_t i = 0; i < n; ++i) halos[i] = halo_of(segments, i);
+
+  SparsifiedL out;
+  out.diag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.diag[i] = partial_l(i, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (partial_l(i, j) == 0.0) continue;
+      // Keep the term only when each segment sits inside the other's halo:
+      // the return current of one cannot reach past the bounding P/G lines.
+      if (halos[i].contains(segments[j].transverse()) &&
+          halos[j].contains(segments[i].transverse()))
+        out.terms.push_back({i, j, partial_l(i, j)});
+    }
+  }
+  return out;
+}
+
+}  // namespace ind::sparsify

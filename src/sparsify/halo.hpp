@@ -1,0 +1,32 @@
+// Halo / return-limited sparsification (Shepard et al. [15], Section 4):
+// "based on the assumption that the currents of signal lines return within
+// the region enclosed by the nearest same-direction power-ground lines."
+//
+// A segment's halo is the transverse interval bounded by the nearest
+// same-direction, axially-overlapping power/ground conductors on each side
+// (unbounded on a side with no such conductor). Mutual coupling is retained
+// only when each segment lies inside the other's halo.
+#pragma once
+
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "la/dense_matrix.hpp"
+#include "sparsify/mutual_spec.hpp"
+
+namespace ind::sparsify {
+
+struct Halo {
+  double lo = -1e300;  ///< transverse lower bound
+  double hi = 1e300;   ///< transverse upper bound
+  bool contains(double t) const { return t >= lo && t <= hi; }
+};
+
+/// The halo of segment `i`: bounded by the nearest same-direction P/G lines
+/// (the shield-kind counts as ground) that overlap it axially.
+Halo halo_of(const std::vector<geom::Segment>& segments, std::size_t i);
+
+SparsifiedL halo(const std::vector<geom::Segment>& segments,
+                 const la::Matrix& partial_l);
+
+}  // namespace ind::sparsify

@@ -1,0 +1,33 @@
+#include "sparsify/kmatrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/lu.hpp"
+
+namespace ind::sparsify {
+
+SparsifiedL kmatrix_sparsify(const la::Matrix& partial_l,
+                             double threshold_ratio) {
+  if (partial_l.rows() != partial_l.cols())
+    throw std::invalid_argument("kmatrix_sparsify: square matrix required");
+  const std::size_t n = partial_l.rows();
+  const la::Matrix k = la::inverse(partial_l);
+
+  SparsifiedL out;
+  out.use_kmatrix = true;
+  out.diag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.diag[i] = partial_l(i, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.k_entries.push_back({i, i, k(i, i)});
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double kij = 0.5 * (k(i, j) + k(j, i));  // symmetrise round-off
+      if (kij == 0.0) continue;
+      const double bound = threshold_ratio * std::sqrt(k(i, i) * k(j, j));
+      if (std::abs(kij) >= bound) out.k_entries.push_back({i, j, kij});
+    }
+  }
+  return out;
+}
+
+}  // namespace ind::sparsify

@@ -1,0 +1,22 @@
+// K-matrix sparsification (Devgan et al. [17], Section 4): "defines a
+// circuit matrix K as the inverse of the partial inductance matrix L. K has
+// a higher degree of locality and sparsity, similar to the capacitance
+// matrix, and hence is amenable to sparsification and simulation. However,
+// it requires inversion of the partial inductance matrix, and a special
+// circuit simulator that can handle the K matrix."
+//
+// Our circuit engine provides that special element (KMatrixGroup): the
+// inductor branch equations become K (v_a - v_b) = dI/dt.
+#pragma once
+
+#include "la/dense_matrix.hpp"
+#include "sparsify/mutual_spec.hpp"
+
+namespace ind::sparsify {
+
+/// Inverts the dense partial-inductance matrix and drops K entries with
+/// |K_ij| < threshold_ratio * sqrt(K_ii K_jj). Diagonal entries always kept.
+SparsifiedL kmatrix_sparsify(const la::Matrix& partial_l,
+                             double threshold_ratio);
+
+}  // namespace ind::sparsify

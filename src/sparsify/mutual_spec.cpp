@@ -1,0 +1,73 @@
+#include "sparsify/mutual_spec.hpp"
+
+#include <stdexcept>
+
+namespace ind::sparsify {
+
+std::size_t SparsifiedL::kept_mutual_count() const {
+  if (!use_kmatrix) return terms.size();
+  std::size_t count = 0;
+  for (const KEntry& e : k_entries)
+    if (e.i != e.j) ++count;
+  return count;
+}
+
+double SparsifiedL::density() const {
+  const std::size_t n = size();
+  if (n < 2) return 0.0;
+  return static_cast<double>(kept_mutual_count()) /
+         (0.5 * static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+la::Matrix SparsifiedL::to_dense() const {
+  const std::size_t n = size();
+  la::Matrix m(n, n);
+  if (use_kmatrix) {
+    for (const KEntry& e : k_entries) {
+      m(e.i, e.j) += e.value;
+      if (e.i != e.j) m(e.j, e.i) += e.value;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = diag[i];
+    for (const MutualTerm& t : terms) {
+      m(t.i, t.j) = t.value;
+      m(t.j, t.i) = t.value;
+    }
+  }
+  return m;
+}
+
+void apply_to_netlist(const SparsifiedL& spec, circuit::Netlist& netlist,
+                      const std::vector<std::size_t>& seg_to_inductor) {
+  auto inductor_of = [&](std::size_t seg) {
+    if (seg >= seg_to_inductor.size() ||
+        seg_to_inductor[seg] >= netlist.inductors().size())
+      throw std::invalid_argument("apply_to_netlist: segment has no inductor");
+    return seg_to_inductor[seg];
+  };
+
+  if (spec.use_kmatrix) {
+    circuit::KMatrixGroup group;
+    group.inductors.reserve(spec.size());
+    std::vector<std::size_t> member_of(spec.size());
+    for (std::size_t s = 0; s < spec.size(); ++s) {
+      member_of[s] = group.inductors.size();
+      group.inductors.push_back(inductor_of(s));
+    }
+    group.entries.reserve(2 * spec.k_entries.size());
+    for (const KEntry& e : spec.k_entries) {
+      group.entries.push_back({member_of[e.i], member_of[e.j], e.value});
+      if (e.i != e.j)
+        group.entries.push_back({member_of[e.j], member_of[e.i], e.value});
+    }
+    netlist.add_kmatrix_group(std::move(group));
+    return;
+  }
+
+  for (std::size_t s = 0; s < spec.size(); ++s)
+    netlist.set_inductance(inductor_of(s), spec.diag[s]);
+  for (const MutualTerm& t : spec.terms)
+    netlist.add_mutual(inductor_of(t.i), inductor_of(t.j), t.value);
+}
+
+}  // namespace ind::sparsify

@@ -1,0 +1,54 @@
+// Common result type of every Section-4 sparsification scheme.
+//
+// A scheme consumes the dense partial-inductance matrix (plus geometry where
+// needed) and produces either a sparse L representation (diagonal + kept
+// mutual terms, possibly with shifted values) or a sparse K = L^-1
+// representation. `apply_to_netlist` stamps the result onto a PEEC netlist
+// that was built with MutualPolicy::None.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "la/dense_matrix.hpp"
+
+namespace ind::sparsify {
+
+struct MutualTerm {
+  std::size_t i = 0, j = 0;  ///< segment indices, i < j
+  double value = 0.0;        ///< henries
+};
+
+struct KEntry {
+  std::size_t i = 0, j = 0;  ///< segment indices, i <= j (diagonal included)
+  double value = 0.0;        ///< 1/henries
+};
+
+struct SparsifiedL {
+  la::Vector diag;                ///< per-segment self inductance (L form)
+  std::vector<MutualTerm> terms;  ///< kept off-diagonal terms (L form)
+
+  bool use_kmatrix = false;
+  std::vector<KEntry> k_entries;  ///< K form (when use_kmatrix)
+
+  std::size_t size() const { return diag.size(); }
+
+  /// Number of retained off-diagonal coupling terms.
+  std::size_t kept_mutual_count() const;
+
+  /// Fraction of the n(n-1)/2 off-diagonal pairs retained.
+  double density() const;
+
+  /// Dense reconstruction: the effective L matrix in L form, or the sparse
+  /// K matrix in K form (diagnostics / stability analysis).
+  la::Matrix to_dense() const;
+};
+
+/// Stamps the sparsified inductance onto `netlist`. `seg_to_inductor` maps
+/// segment index -> inductor index (from the PEEC builder). Segments whose
+/// map entry is out of range are skipped.
+void apply_to_netlist(const SparsifiedL& spec, circuit::Netlist& netlist,
+                      const std::vector<std::size_t>& seg_to_inductor);
+
+}  // namespace ind::sparsify

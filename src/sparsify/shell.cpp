@@ -1,0 +1,95 @@
+#include "sparsify/shell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "extract/partial_inductance.hpp"
+
+namespace ind::sparsify {
+namespace {
+
+// Mutual of the pair evaluated at an overridden GMD distance.
+double mutual_at_distance(const geom::Segment& s, const geom::Segment& t,
+                          double d) {
+  const auto g = geom::parallel_geometry(s, t);
+  if (!g) return 0.0;
+  const double ds = s.axis() == geom::Axis::X ? s.b.x - s.a.x : s.b.y - s.a.y;
+  const double dt = t.axis() == geom::Axis::X ? t.b.x - t.a.x : t.b.y - t.a.y;
+  const double sign = (ds >= 0) == (dt >= 0) ? 1.0 : -1.0;
+  return sign * extract::mutual_partial_inductance(g->length_i, g->length_j,
+                                                   g->axial_gap, d);
+}
+
+double pair_distance(const geom::Segment& s, const geom::Segment& t) {
+  const auto g = geom::parallel_geometry(s, t);
+  if (!g) return 1e300;
+  const double clamp = 0.5 * (extract::self_gmd(s.width, s.thickness) +
+                              extract::self_gmd(t.width, t.thickness));
+  return std::max(g->center_distance(), clamp);
+}
+
+}  // namespace
+
+SparsifiedL shell(const std::vector<geom::Segment>& segments, double radius) {
+  if (radius <= 0.0) throw std::invalid_argument("shell: radius <= 0");
+  const std::size_t n = segments.size();
+  SparsifiedL out;
+  out.diag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Segment& s = segments[i];
+    const double gmd = extract::self_gmd(s.width, s.thickness);
+    const double self =
+        extract::self_partial_inductance(s.length(), s.width, s.thickness);
+    // Diagonal shift: subtract the coupling to the segment's own return
+    // shell (evaluated with the same length decomposition as the self term).
+    const double at_shell = extract::mutual_partial_inductance(
+        s.length(), s.length(), -s.length(), std::max(radius, gmd));
+    out.diag[i] = std::max(self - at_shell, 0.05 * self);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = pair_distance(segments[i], segments[j]);
+      if (d >= radius) continue;
+      const double m = mutual_at_distance(segments[i], segments[j], d) -
+                       mutual_at_distance(segments[i], segments[j], radius);
+      if (m != 0.0) out.terms.push_back({i, j, m});
+    }
+  }
+  return out;
+}
+
+double suggest_shell_radius(const std::vector<geom::Segment>& segments,
+                            const la::Matrix& partial_l, double tolerance) {
+  if (tolerance <= 0.0)
+    throw std::invalid_argument("suggest_shell_radius: tolerance <= 0");
+  const std::size_t n = segments.size();
+  // Candidate radii: geometric sweep over the span of observed distances.
+  double d_min = 1e300, d_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = pair_distance(segments[i], segments[j]);
+      if (d >= 1e300) continue;
+      d_min = std::min(d_min, d);
+      d_max = std::max(d_max, d);
+    }
+  if (d_max <= 0.0) return 1.0;  // no parallel pairs: any radius works
+
+  for (double r = std::max(d_min, 1e-9); r < 2.0 * d_max; r *= 1.5) {
+    // Worst row: fraction of |coupling| dropped beyond r relative to self.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double dropped = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j || partial_l(i, j) == 0.0) continue;
+        if (pair_distance(segments[i], segments[j]) >= r)
+          dropped += std::abs(partial_l(i, j));
+      }
+      worst = std::max(worst, dropped / partial_l(i, i));
+    }
+    if (worst <= tolerance) return r;
+  }
+  return 2.0 * d_max;
+}
+
+}  // namespace ind::sparsify

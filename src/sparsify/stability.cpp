@@ -1,0 +1,38 @@
+#include "sparsify/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+
+namespace ind::sparsify {
+
+StabilityReport analyze_matrix(const la::Matrix& m) {
+  StabilityReport report;
+  report.positive_definite = la::is_positive_definite(m);
+  // Bisection on Cholesky success is robust even for clustered spectra,
+  // where plain power iteration on the shifted matrix stalls.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    scale = std::max(scale, std::abs(m(i, i)));
+  report.min_eigenvalue = la::min_eigenvalue_bisect(m, scale);
+  report.max_eigenvalue = la::dominant_eigenvalue(m);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = i + 1; j < m.cols(); ++j)
+      if (m(i, j) != 0.0) ++kept;
+  report.kept_mutuals = kept;
+  const std::size_t n = m.rows();
+  report.density = n < 2 ? 0.0
+                         : static_cast<double>(kept) /
+                               (0.5 * static_cast<double>(n) *
+                                static_cast<double>(n - 1));
+  return report;
+}
+
+StabilityReport analyze_stability(const SparsifiedL& spec) {
+  return analyze_matrix(spec.to_dense());
+}
+
+}  // namespace ind::sparsify

@@ -1,0 +1,30 @@
+// Stability / passivity analysis of sparsified inductance matrices.
+//
+// Section 4's central warning: truncation "can become non-positive definite,
+// and the sparsified system becomes active and can generate energy", while
+// block-diagonal and shell schemes "guarantee the sparsified matrix to be
+// positive definite". This module produces the certificate either way.
+#pragma once
+
+#include "la/dense_matrix.hpp"
+#include "sparsify/mutual_spec.hpp"
+
+namespace ind::sparsify {
+
+struct StabilityReport {
+  bool positive_definite = false;
+  double min_eigenvalue = 0.0;  ///< of the effective L (or K) matrix
+  double max_eigenvalue = 0.0;
+  std::size_t kept_mutuals = 0;
+  double density = 0.0;  ///< off-diagonal fill fraction
+};
+
+/// Analyses the sparsified matrix: Cholesky PSD certificate plus extreme
+/// eigenvalues. For a K-form result the K matrix itself is analysed (its
+/// positive definiteness is what passivity requires).
+StabilityReport analyze_stability(const SparsifiedL& spec);
+
+/// Same analysis for an arbitrary dense symmetric matrix.
+StabilityReport analyze_matrix(const la::Matrix& m);
+
+}  // namespace ind::sparsify

@@ -1,0 +1,27 @@
+#include "sparsify/truncation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ind::sparsify {
+
+SparsifiedL truncate(const la::Matrix& partial_l, double threshold_ratio) {
+  if (partial_l.rows() != partial_l.cols())
+    throw std::invalid_argument("truncate: square matrix required");
+  const std::size_t n = partial_l.rows();
+  SparsifiedL out;
+  out.diag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.diag[i] = partial_l(i, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double m = partial_l(i, j);
+      if (m == 0.0) continue;
+      const double bound =
+          threshold_ratio * std::sqrt(partial_l(i, i) * partial_l(j, j));
+      if (std::abs(m) >= bound) out.terms.push_back({i, j, m});
+    }
+  }
+  return out;
+}
+
+}  // namespace ind::sparsify

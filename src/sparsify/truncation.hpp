@@ -1,0 +1,20 @@
+// Truncation: "the simplest approach to sparsifying the inductance matrix is
+// to discard all mutual coupling terms falling below a certain threshold.
+// However, the resulting matrix can become non-positive definite, and the
+// sparsified system becomes active and can generate energy." (Section 4)
+//
+// Provided both as a baseline and as the negative example: the Section-4
+// bench demonstrates the loss of positive definiteness that the paper warns
+// about.
+#pragma once
+
+#include "la/dense_matrix.hpp"
+#include "sparsify/mutual_spec.hpp"
+
+namespace ind::sparsify {
+
+/// Drops every mutual term with |L_ij| < threshold_ratio * sqrt(L_ii L_jj).
+/// Diagonal entries are kept unchanged.
+SparsifiedL truncate(const la::Matrix& partial_l, double threshold_ratio);
+
+}  // namespace ind::sparsify

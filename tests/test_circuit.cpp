@@ -1,0 +1,641 @@
+// Unit tests for the circuit engine: MNA stamping, transient integration
+// against closed-form responses, AC analysis, waveform measurement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/waveform.hpp"
+
+namespace {
+
+using namespace ind::circuit;
+using ind::la::Complex;
+
+TEST(Pwl, InterpolatesAndClamps) {
+  const Pwl p({{1.0, 0.0}, {2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(p(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(p(3.0), 10.0);
+}
+
+TEST(Pwl, Factories) {
+  EXPECT_DOUBLE_EQ(Pwl::constant(3.3)(123.0), 3.3);
+  const Pwl r = Pwl::ramp(1e-9, 1e-9, 1.8);
+  EXPECT_DOUBLE_EQ(r(1.5e-9), 0.9);
+  const Pwl f = Pwl::falling_ramp(0.0, 1e-9, 1.8);
+  EXPECT_DOUBLE_EQ(f(0.5e-9), 0.9);
+  const Pwl pulse = Pwl::pulse(0, 1e-10, 1e-9, 1e-10, 1.0);
+  EXPECT_DOUBLE_EQ(pulse(0.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(pulse(2e-9), 0.0);
+}
+
+TEST(Pwl, RejectsUnsortedPoints) {
+  EXPECT_THROW(Pwl({{2.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(SwitchingProfile, DeterministicAndBounded) {
+  SwitchingProfileGenerator g1(7), g2(7);
+  const Pwl p1 = g1.background_current(1e-9, 1e-3, 5);
+  const Pwl p2 = g2.background_current(1e-9, 1e-3, 5);
+  ASSERT_EQ(p1.points().size(), p2.points().size());
+  for (std::size_t i = 0; i < p1.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.points()[i].second, p2.points()[i].second);
+    EXPECT_GE(p1.points()[i].second, 0.0);
+    EXPECT_LE(p1.points()[i].second, 1e-3);
+  }
+}
+
+TEST(SwitchedDriver, ConductanceCrossfade) {
+  SwitchedDriver d;
+  d.pull_ohms = 50.0;
+  d.slew = 100e-12;
+  d.start = 0.0;
+  d.rising = true;
+  d.quantize_levels = 0;  // continuous for this check
+  d.overlap = 1.0;        // full crossfade
+  EXPECT_DOUBLE_EQ(d.g_up(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.g_dn(0.0), 1.0 / 50.0);
+  EXPECT_DOUBLE_EQ(d.g_up(50e-12), 0.5 / 50.0);
+  EXPECT_DOUBLE_EQ(d.g_dn(50e-12), 0.5 / 50.0);
+  EXPECT_DOUBLE_EQ(d.g_up(200e-12), 1.0 / 50.0);
+  EXPECT_DOUBLE_EQ(d.g_dn(200e-12), 0.0);
+  // Total conductance stays constant through the full crossfade.
+  EXPECT_DOUBLE_EQ(d.g_up(30e-12) + d.g_dn(30e-12), 1.0 / 50.0);
+}
+
+TEST(SwitchedDriver, OverlapWindowLimitsShortCircuit) {
+  SwitchedDriver d;
+  d.pull_ohms = 50.0;
+  d.slew = 100e-12;
+  d.start = 0.0;
+  d.rising = true;
+  d.quantize_levels = 0;
+  d.overlap = 0.2;
+  // Early in the transition the pull-up is still off.
+  EXPECT_DOUBLE_EQ(d.g_up(20e-12), 0.0);
+  EXPECT_GT(d.g_dn(20e-12), 0.0);
+  // Midpoint: both conduct, but far below half strength.
+  EXPECT_GT(d.g_up(50e-12), 0.0);
+  EXPECT_GT(d.g_dn(50e-12), 0.0);
+  EXPECT_LT(d.g_up(50e-12), 0.25 / 50.0);
+  EXPECT_LT(d.g_dn(50e-12), 0.25 / 50.0);
+  // Late in the transition the pull-down is fully off.
+  EXPECT_DOUBLE_EQ(d.g_dn(80e-12), 0.0);
+  // Falling edge mirrors the roles.
+  d.rising = false;
+  EXPECT_DOUBLE_EQ(d.g_dn(20e-12), 0.0);
+  EXPECT_GT(d.g_up(20e-12), 0.0);
+}
+
+TEST(Netlist, CountsAndValidation) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  EXPECT_EQ(nl.node("a"), a);  // get-or-create
+  const NodeId b = nl.make_node();
+  nl.add_resistor(a, b, 10.0);
+  nl.add_capacitor(a, kGround, 1e-15);
+  const std::size_t l0 = nl.add_inductor(a, b, 1e-9);
+  const std::size_t l1 = nl.add_inductor(b, kGround, 1e-9);
+  nl.add_mutual(l0, l1, 0.5e-9);
+  const auto c = nl.counts();
+  EXPECT_EQ(c.resistors, 1u);
+  EXPECT_EQ(c.capacitors, 1u);
+  EXPECT_EQ(c.inductors, 2u);
+  EXPECT_EQ(c.mutuals, 1u);
+  EXPECT_THROW(nl.add_resistor(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_inductor(a, b, -1.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_mutual(0, 0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(nl.add_mutual(0, 9, 1e-9), std::invalid_argument);
+}
+
+// RC low-pass step response: v(t) = V (1 - exp(-t/RC)).
+TEST(Transient, RcStepMatchesAnalytic) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  const double r = 1000.0, c = 1e-12, v = 1.0;
+  nl.add_vsource(in, kGround, Pwl::constant(v));
+  nl.add_resistor(in, out, r);
+  nl.add_capacitor(out, kGround, c);
+
+  TransientOptions opts;
+  opts.t_stop = 5e-9;
+  opts.dt = 5e-12;
+  const auto res = transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "out"}},
+      opts);
+  // DC solve already charges the cap at t=0 (source is constant), so use a
+  // *ramped* source instead for the dynamics check below. Here just check
+  // steady state.
+  EXPECT_NEAR(res.samples[0].back(), v, 1e-6);
+}
+
+TEST(Transient, RcRampResponse) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  const double r = 1000.0, c = 1e-12;  // tau = 1ns
+  nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {1e-12, 1.0}}));  // fast step
+  nl.add_resistor(in, out, r);
+  nl.add_capacitor(out, kGround, c);
+
+  TransientOptions opts;
+  opts.t_stop = 4e-9;
+  opts.dt = 2e-12;
+  const auto res = transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "out"}},
+      opts);
+  const double tau = r * c;
+  for (std::size_t k = 0; k < res.time.size(); k += 100) {
+    const double t = res.time[k];
+    if (t < 10e-12) continue;
+    const double expected = 1.0 - std::exp(-(t - 0.5e-12) / tau);
+    EXPECT_NEAR(res.samples[0][k], expected, 0.01);
+  }
+}
+
+// Series RL driven by a step: i(t) = (V/R)(1 - exp(-R t/L)).
+TEST(Transient, RlStepCurrent) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  const double r = 50.0, l = 1e-9;  // tau = 20ps
+  nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {1e-13, 1.0}}));
+  const std::size_t ind = nl.add_inductor(in, mid, l);
+  nl.add_resistor(mid, kGround, r);
+
+  TransientOptions opts;
+  opts.t_stop = 200e-12;
+  opts.dt = 0.2e-12;
+  const auto res =
+      transient(nl, {{ProbeKind::InductorCurrent, ind, "il"}}, opts);
+  const double tau = l / r;
+  for (std::size_t k = 0; k < res.time.size(); k += 50) {
+    const double t = res.time[k];
+    if (t < 1e-12) continue;
+    const double expected = (1.0 / r) * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(res.samples[0][k], expected, 0.02 / r);
+  }
+}
+
+// Underdamped series RLC: check the ringing frequency.
+TEST(Transient, RlcRingingFrequency) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId a = nl.node("a");
+  const NodeId out = nl.node("out");
+  const double r = 5.0, l = 1e-9, c = 1e-12;  // f0 ~ 5.03 GHz, Q ~ 6.3
+  nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {1e-12, 1.0}}));
+  nl.add_inductor(in, a, l);
+  nl.add_resistor(a, out, r);
+  nl.add_capacitor(out, kGround, c);
+
+  TransientOptions opts;
+  opts.t_stop = 3e-9;
+  opts.dt = 0.5e-12;
+  const auto res = transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "out"}},
+      opts);
+  // Find the first two upward crossings of the final value.
+  const auto& w = res.samples[0];
+  std::vector<double> crossings;
+  for (std::size_t k = 1; k < w.size() && crossings.size() < 3; ++k)
+    if (w[k - 1] < 1.0 && w[k] >= 1.0)
+      crossings.push_back(res.time[k]);
+  ASSERT_GE(crossings.size(), 2u);
+  // Consecutive upward crossings of the settling level are one period apart.
+  const double period = crossings[1] - crossings[0];
+  const double f_meas = 1.0 / period;
+  const double f0 = 1.0 / (2 * M_PI * std::sqrt(l * c));
+  EXPECT_NEAR(f_meas, f0, 0.15 * f0);
+  // And it must overshoot (underdamped).
+  EXPECT_GT(overshoot_fraction(w, 0.0, 1.0), 0.3);
+}
+
+// Two coupled inductors as an ideal-ish transformer: k = M/sqrt(L1 L2).
+TEST(Transient, MutualInductanceCouplesCurrent) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId m1 = nl.node("m1");
+  const NodeId s1 = nl.node("s1");
+  const double l = 1e-9, m = 0.8e-9, r = 50.0;
+  nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {1e-12, 1.0}}));
+  const std::size_t lp = nl.add_inductor(in, m1, l);
+  nl.add_resistor(m1, kGround, r);
+  const std::size_t ls = nl.add_inductor(s1, kGround, l);
+  nl.add_resistor(s1, kGround, r);
+  nl.add_mutual(lp, ls, m);
+
+  TransientOptions opts;
+  opts.t_stop = 100e-12;
+  opts.dt = 0.1e-12;
+  const auto res = transient(nl,
+                             {{ProbeKind::InductorCurrent, lp, "ip"},
+                              {ProbeKind::InductorCurrent, ls, "is"}},
+                             opts);
+  // Secondary current must be nonzero (coupled) and smaller than primary.
+  const double ip = ind::la::inf_norm(res.samples[0]);
+  const double is = ind::la::inf_norm(res.samples[1]);
+  EXPECT_GT(is, 0.01 * ip);
+  EXPECT_LT(is, ip);
+}
+
+// The K-matrix element must reproduce the L-form dynamics exactly when K is
+// the full inverse.
+TEST(Transient, KMatrixGroupMatchesMutualForm) {
+  const double l11 = 1e-9, l22 = 2e-9, m = 0.5e-9;
+  auto build = [&](bool use_k) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId a = nl.node("a");
+    const NodeId b = nl.node("b");
+    nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {1e-12, 1.0}}));
+    const std::size_t i1 = nl.add_inductor(in, a, l11);
+    nl.add_resistor(a, kGround, 20.0);
+    const std::size_t i2 = nl.add_inductor(in, b, l22);
+    nl.add_resistor(b, kGround, 30.0);
+    if (use_k) {
+      const double det = l11 * l22 - m * m;
+      KMatrixGroup grp;
+      grp.inductors = {i1, i2};
+      grp.entries = {{0, 0, l22 / det},
+                     {0, 1, -m / det},
+                     {1, 0, -m / det},
+                     {1, 1, l11 / det}};
+      nl.add_kmatrix_group(std::move(grp));
+    } else {
+      nl.add_mutual(i1, i2, m);
+    }
+    return nl;
+  };
+
+  TransientOptions opts;
+  opts.t_stop = 50e-12;
+  opts.dt = 0.05e-12;
+  const Netlist nl_l = build(false);
+  const Netlist nl_k = build(true);
+  const Probe p{ProbeKind::NodeVoltage, static_cast<std::size_t>(1), "a"};
+  const auto res_l = transient(nl_l, {p}, opts);
+  const auto res_k = transient(nl_k, {p}, opts);
+  ASSERT_EQ(res_l.samples[0].size(), res_k.samples[0].size());
+  for (std::size_t k = 0; k < res_l.samples[0].size(); k += 25)
+    EXPECT_NEAR(res_l.samples[0][k], res_k.samples[0][k], 1e-6);
+}
+
+TEST(Transient, DriverChargesLoadThroughRails) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId out = nl.node("out");
+  nl.add_vsource(vdd, kGround, Pwl::constant(1.8));
+  SwitchedDriver d;
+  d.out = out;
+  d.vdd = vdd;
+  d.gnd = kGround;
+  d.pull_ohms = 100.0;
+  d.slew = 50e-12;
+  d.start = 100e-12;
+  d.rising = true;
+  const std::size_t di = nl.add_driver(d);
+  nl.add_capacitor(out, kGround, 50e-15);
+
+  TransientOptions opts;
+  opts.t_stop = 1e-9;
+  opts.dt = 1e-12;
+  const auto res =
+      transient(nl,
+                {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "out"},
+                 {ProbeKind::DriverPullUpCurrent, di, "iup"}},
+                opts);
+  EXPECT_NEAR(res.samples[0].front(), 0.0, 1e-9);  // starts held low
+  EXPECT_NEAR(res.samples[0].back(), 1.8, 1e-3);   // charges to vdd
+  EXPECT_GT(ind::la::inf_norm(res.samples[1]), 1e-4);  // rail current flowed
+  // Factorisation count stays bounded by the quantised ramp.
+  EXPECT_LE(res.refactor_count, static_cast<std::size_t>(d.quantize_levels) + 3);
+}
+
+TEST(Transient, SparseAndDenseSolversAgree) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  NodeId prev = in;
+  nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {10e-12, 1.0}}));
+  for (int k = 0; k < 20; ++k) {
+    const NodeId next = nl.make_node();
+    nl.add_resistor(prev, next, 10.0);
+    nl.add_capacitor(next, kGround, 5e-15);
+    prev = next;
+  }
+  TransientOptions dense_opts, sparse_opts;
+  dense_opts.t_stop = sparse_opts.t_stop = 1e-9;
+  dense_opts.dt = sparse_opts.dt = 1e-12;
+  dense_opts.solver = TransientOptions::Solver::Dense;
+  sparse_opts.solver = TransientOptions::Solver::Sparse;
+  const Probe p{ProbeKind::NodeVoltage, static_cast<std::size_t>(prev), "end"};
+  const auto r_dense = transient(nl, {p}, dense_opts);
+  const auto r_sparse = transient(nl, {p}, sparse_opts);
+  EXPECT_TRUE(r_dense.used_dense);
+  EXPECT_FALSE(r_sparse.used_dense);
+  for (std::size_t k = 0; k < r_dense.samples[0].size(); k += 100)
+    EXPECT_NEAR(r_dense.samples[0][k], r_sparse.samples[0][k], 1e-9);
+}
+
+TEST(Transient, BackwardEulerAlsoConverges) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {1e-12, 1.0}}));
+  nl.add_resistor(in, out, 1000.0);
+  nl.add_capacitor(out, kGround, 1e-12);
+  TransientOptions opts;
+  opts.t_stop = 10e-9;  // 10 time constants: settled to ~5e-5
+  opts.dt = 1e-12;
+  opts.backward_euler = true;
+  const auto res = transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "o"}}, opts);
+  EXPECT_NEAR(res.samples[0].back(), 1.0, 1e-3);
+}
+
+TEST(Ac, RcTransferFunction) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  const double r = 1000.0, c = 1e-12;
+  nl.add_vsource(in, kGround, Pwl::constant(0.0));
+  nl.add_resistor(in, out, r);
+  nl.add_capacitor(out, kGround, c);
+  const double w0 = 1.0 / (r * c);
+  const AcResult res =
+      ac_solve(nl, {AcExcitation::Kind::VSource, 0}, w0);
+  // |H| = 1/sqrt(2) at the pole.
+  EXPECT_NEAR(std::abs(res.node_voltage(out)), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Ac, InductorImpedance) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const double l = 1e-9;
+  nl.add_vsource(in, kGround, Pwl::constant(0.0));
+  const std::size_t k = nl.add_inductor(in, kGround, l);
+  const double omega = 2 * M_PI * 1e9;
+  const AcResult res = ac_solve(nl, {AcExcitation::Kind::VSource, 0}, omega);
+  // I = V / (jwL)
+  const Complex i = res.inductor_current(k);
+  EXPECT_NEAR(std::abs(i), 1.0 / (omega * l), 1e-6 / (omega * l));
+  EXPECT_NEAR(std::arg(i), -M_PI / 2, 1e-6);
+}
+
+TEST(Ac, CurrentSourceExcitation) {
+  Netlist nl;
+  const NodeId n = nl.node("n");
+  nl.add_resistor(n, kGround, 42.0);
+  nl.add_isource(kGround, n, Pwl::constant(0.0));
+  const AcResult res = ac_solve(nl, {AcExcitation::Kind::ISource, 0}, 1e6);
+  // gmin (1e-12 S) shifts the answer in the 9th digit; allow for it.
+  EXPECT_NEAR(res.node_voltage(n).real(), 42.0, 1e-6);
+}
+
+TEST(Waveform, CrossingAndDelay) {
+  const ind::la::Vector t{0, 1, 2, 3, 4};
+  const ind::la::Vector v{0, 0.2, 0.6, 0.9, 1.0};
+  const auto c = crossing_time(t, v, 0.5, true);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 1.75, 1e-12);
+  const auto d = delay_50(t, v, 0.0, 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 1.75, 1e-12);
+  EXPECT_FALSE(crossing_time(t, v, 0.5, false).has_value());
+}
+
+TEST(Waveform, OvershootAndNoise) {
+  const ind::la::Vector v{0, 0.5, 1.3, 0.9, 1.0};
+  EXPECT_NEAR(overshoot_fraction(v, 0.0, 1.0), 0.3, 1e-12);
+  EXPECT_NEAR(peak_noise(v, 0.0), 1.3, 1e-12);
+  EXPECT_DOUBLE_EQ(overshoot_fraction({0.0, 0.5}, 0.0, 1.0), 0.0);
+}
+
+TEST(Waveform, SkewAcrossSinks) {
+  const ind::la::Vector t{0, 1, 2, 3, 4};
+  const std::vector<ind::la::Vector> sinks{{0, 0.6, 1, 1, 1},
+                                           {0, 0.1, 0.4, 0.6, 1}};
+  const SkewReport r = measure_skew(t, sinks, {"fast", "slow"}, 0.0, 1.0);
+  EXPECT_EQ(r.worst_sink, "slow");
+  EXPECT_EQ(r.best_sink, "fast");
+  EXPECT_GT(r.skew, 0.0);
+  EXPECT_NEAR(r.worst_delay - r.best_delay, r.skew, 1e-15);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Additional engine properties: integration order, refactorisation economy,
+// LC energy behaviour, probe kinds.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Trapezoidal integration is second order: halving dt must shrink the error
+// against the analytic RC ramp response by ~4x. The input ramp (200 ps) is
+// long relative to both timesteps, and its breakpoints land on both grids,
+// so the measured error is purely the integrator's.
+TEST(Transient, TrapezoidalIsSecondOrder) {
+  const double tau = 1e-10;  // R*C = 100 ps: dynamics comparable to dt
+  const double ramp = 200e-12;
+  auto run = [&](double dt) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource(in, kGround, Pwl({{0.0, 0.0}, {ramp, 1.0}}));
+    nl.add_resistor(in, out, 100.0);
+    nl.add_capacitor(out, kGround, 1e-12);
+    TransientOptions opts;
+    opts.t_stop = 1e-9;
+    opts.dt = dt;
+    const auto res = transient(
+        nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "o"}},
+        opts);
+    // Analytic response to a unit ramp of duration T through an RC:
+    //   t <= T: t/T - (tau/T)(1 - e^{-t/tau})
+    //   t >  T: 1 - (tau/T)(1 - e^{-T/tau}) e^{-(t-T)/tau}
+    double worst = 0.0;
+    for (std::size_t k = 0; k < res.time.size(); ++k) {
+      const double t = res.time[k];
+      const double exact =
+          t <= ramp
+              ? t / ramp - (tau / ramp) * (1.0 - std::exp(-t / tau))
+              : 1.0 - (tau / ramp) * (1.0 - std::exp(-ramp / tau)) *
+                          std::exp(-(t - ramp) / tau);
+      worst = std::max(worst, std::abs(res.samples[0][k] - exact));
+    }
+    return worst;
+  };
+  const double e_coarse = run(20e-12);
+  const double e_fine = run(10e-12);
+  EXPECT_LT(e_fine, e_coarse / 2.5);  // ~4x for clean 2nd order
+}
+
+// The companion matrix must be factorised once per driver plateau, not per
+// timestep: a long quiet tail after the transition adds no refactorisations.
+TEST(Transient, RefactorisationIsBounded) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId out = nl.node("out");
+  nl.add_vsource(vdd, kGround, Pwl::constant(1.8));
+  SwitchedDriver d;
+  d.out = out;
+  d.vdd = vdd;
+  d.gnd = kGround;
+  d.slew = 50e-12;
+  d.start = 100e-12;
+  d.quantize_levels = 4;
+  nl.add_driver(d);
+  nl.add_capacitor(out, kGround, 20e-15);
+  TransientOptions opts;
+  opts.t_stop = 5e-9;  // 100x the transition duration
+  opts.dt = 1e-12;
+  const auto res = transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(out), "o"}},
+      opts);
+  EXPECT_LE(res.refactor_count, 4u + 3u);
+}
+
+// A lossless LC tank under trapezoidal integration must neither gain nor
+// lose amplitude (the method is symplectic for linear oscillators) — the
+// numerical counterpart of the paper's passivity discussion.
+TEST(Transient, LcTankAmplitudePreserved) {
+  Netlist nl;
+  const NodeId n = nl.node("n");
+  nl.add_inductor(n, kGround, 1e-9);
+  nl.add_capacitor(n, kGround, 1e-12);
+  // Kick the tank with a brief current pulse.
+  nl.add_isource(kGround, n, Pwl::pulse(0.0, 5e-12, 10e-12, 5e-12, 1e-3));
+  TransientOptions opts;
+  opts.t_stop = 40e-9;  // many periods (T ~ 0.2 ns)
+  opts.dt = 1e-12;
+  const auto res = transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(n), "v"}}, opts);
+  const auto& w = res.samples[0];
+  double early = 0.0, late = 0.0;
+  for (std::size_t k = w.size() / 10; k < w.size() / 5; ++k)
+    early = std::max(early, std::abs(w[k]));
+  for (std::size_t k = 4 * w.size() / 5; k < w.size(); ++k)
+    late = std::max(late, std::abs(w[k]));
+  EXPECT_GT(early, 0.0);
+  EXPECT_NEAR(late, early, 0.02 * early);
+}
+
+TEST(Transient, VSourceCurrentProbe) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource(in, kGround, Pwl::constant(1.0));
+  nl.add_resistor(in, kGround, 100.0);
+  TransientOptions opts;
+  opts.t_stop = 1e-10;
+  opts.dt = 1e-12;
+  const auto res =
+      transient(nl, {{ProbeKind::VSourceCurrent, 0, "iv"}}, opts);
+  // Branch current flows a -> b inside the source: +10 mA by convention.
+  EXPECT_NEAR(std::abs(res.samples[0].back()), 0.01, 1e-5);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Netlist nl;
+  nl.add_resistor(nl.node("a"), kGround, 1.0);
+  TransientOptions opts;
+  opts.dt = 0.0;
+  EXPECT_THROW(transient(nl, {}, opts), std::invalid_argument);
+  EXPECT_THROW(transient(Netlist{}, {}, TransientOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MNA stamp verification against hand-written matrices.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TEST(Mna, ResistorAndCapacitorStamps) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_resistor(a, b, 2.0);        // g = 0.5
+  nl.add_capacitor(a, kGround, 3.0); // pF-scale irrelevant here
+  Mna mna(nl);
+  mna.gmin = 0.0;
+  ind::la::TripletMatrix gt, ct;
+  mna.stamp_static(gt, ct);
+  const auto g = gt.to_dense();
+  const auto c = ct.to_dense();
+  EXPECT_DOUBLE_EQ(g(a, a), 0.5);
+  EXPECT_DOUBLE_EQ(g(b, b), 0.5);
+  EXPECT_DOUBLE_EQ(g(a, b), -0.5);
+  EXPECT_DOUBLE_EQ(g(b, a), -0.5);
+  EXPECT_DOUBLE_EQ(c(a, a), 3.0);
+  EXPECT_DOUBLE_EQ(c(a, b), 0.0);
+}
+
+TEST(Mna, InductorBranchStamps) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_inductor(a, kGround, 2e-9);
+  Mna mna(nl);
+  mna.gmin = 0.0;
+  ind::la::TripletMatrix gt, ct;
+  mna.stamp_static(gt, ct);
+  const auto g = gt.to_dense();
+  const auto c = ct.to_dense();
+  const std::size_t br = mna.inductor_branch(0);
+  EXPECT_DOUBLE_EQ(g(a, br), 1.0);   // KCL: current leaves a
+  EXPECT_DOUBLE_EQ(g(br, a), 1.0);   // branch: +v_a
+  EXPECT_DOUBLE_EQ(c(br, br), -2e-9);
+}
+
+TEST(Mna, VsourceStampsAndRhs) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_vsource(a, kGround, Pwl::constant(1.8));
+  Mna mna(nl);
+  ind::la::Vector b;
+  mna.rhs(0.0, b);
+  EXPECT_DOUBLE_EQ(b[mna.vsource_branch(0)], 1.8);
+}
+
+TEST(Mna, DriverStampSymmetric) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId out = nl.node("out");
+  SwitchedDriver d;
+  d.out = out;
+  d.vdd = vdd;
+  d.gnd = kGround;
+  d.start = -1.0;  // mid/after transition at t=0
+  d.slew = 1.0;
+  nl.add_driver(d);
+  Mna mna(nl);
+  ind::la::TripletMatrix gt(mna.size(), mna.size());
+  mna.stamp_drivers(gt, 0.5);
+  const auto g = gt.to_dense();
+  EXPECT_DOUBLE_EQ(g(out, vdd), g(vdd, out));
+  EXPECT_GE(g(out, out), -1e-18);
+}
+
+TEST(Waveform, FallingCrossing) {
+  const ind::la::Vector t{0, 1, 2};
+  const ind::la::Vector v{1.0, 0.6, 0.2};
+  const auto c = crossing_time(t, v, 0.5, false);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 1.25, 1e-12);
+}
+
+TEST(Waveform, SkewValidation) {
+  EXPECT_THROW(measure_skew({0, 1}, {}, {}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(
+      measure_skew({0, 1}, {ind::la::Vector{0, 1}}, {"a", "b"}, 0.0, 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace

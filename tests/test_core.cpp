@@ -1,0 +1,256 @@
+// Integration tests for the InductanceAnalyzer flows and report formatting.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "geom/topologies.hpp"
+
+namespace {
+
+using namespace ind;
+using geom::um;
+
+// Shared workload: a small clock line over a grid — big enough to show
+// inductive behaviour, small enough to run every flow in a test.
+geom::Layout test_workload(int* signal_net = nullptr) {
+  geom::Layout l(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(300);
+  spec.grid.extent_y = um(300);
+  spec.grid.pitch = um(150);
+  spec.grid.pads_per_side = 1;
+  spec.signal_length = um(250);
+  spec.signal_width = um(3);
+  const auto r = geom::add_driver_receiver_grid(l, spec);
+  if (signal_net) *signal_net = r.signal_net;
+  return l;
+}
+
+core::AnalysisOptions base_options(core::Flow flow, int signal_net) {
+  core::AnalysisOptions opts;
+  opts.flow = flow;
+  opts.signal_net = signal_net;
+  opts.peec.max_segment_length = um(150);
+  opts.peec.decap.sites = 4;
+  opts.transient.t_stop = 1.2e-9;
+  opts.transient.dt = 2e-12;
+  opts.loop.extraction.max_segment_length = um(150);
+  opts.loop.max_segment_length = um(150);
+  return opts;
+}
+
+TEST(Analyzer, AllFlowsProduceValidDelays) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  for (const core::Flow flow :
+       {core::Flow::PeecRc, core::Flow::PeecRlcFull,
+        core::Flow::PeecRlcBlockDiag, core::Flow::PeecRlcShell,
+        core::Flow::PeecRlcHalo, core::Flow::PeecRlcKMatrix,
+        core::Flow::LoopRlc}) {
+    const core::AnalysisReport r = core::analyze(l, base_options(flow, net));
+    EXPECT_TRUE(std::isfinite(r.worst_delay)) << core::flow_name(flow);
+    EXPECT_GT(r.worst_delay, 0.0) << core::flow_name(flow);
+    EXPECT_LT(r.worst_delay, 1e-9) << core::flow_name(flow);
+    EXPECT_GE(r.skew, 0.0) << core::flow_name(flow);
+    EXPECT_FALSE(r.sink_waveforms.empty()) << core::flow_name(flow);
+  }
+}
+
+TEST(Analyzer, RcModelHasNoInductors) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  const auto r = core::analyze(l, base_options(core::Flow::PeecRc, net));
+  EXPECT_EQ(r.counts.inductors, 0u);
+  EXPECT_EQ(r.counts.mutuals, 0u);
+}
+
+TEST(Analyzer, SparsifiedFlowsKeepFewerMutuals) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  const auto full =
+      core::analyze(l, base_options(core::Flow::PeecRlcFull, net));
+  const auto bd =
+      core::analyze(l, base_options(core::Flow::PeecRlcBlockDiag, net));
+  EXPECT_GT(full.counts.mutuals, 0u);
+  EXPECT_LT(bd.counts.mutuals, full.counts.mutuals);
+}
+
+TEST(Analyzer, SparsifiedDelaysNearFull) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  const auto full =
+      core::analyze(l, base_options(core::Flow::PeecRlcFull, net));
+  for (const core::Flow flow :
+       {core::Flow::PeecRlcBlockDiag, core::Flow::PeecRlcShell,
+        core::Flow::PeecRlcKMatrix}) {
+    const auto r = core::analyze(l, base_options(flow, net));
+    EXPECT_NEAR(r.worst_delay, full.worst_delay, 0.35 * full.worst_delay)
+        << core::flow_name(flow);
+  }
+}
+
+TEST(Analyzer, PrimaFlowMatchesFullModel) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  auto opts = base_options(core::Flow::PeecRlcPrima, net);
+  opts.params.prima_order = 48;
+  const auto full =
+      core::analyze(l, base_options(core::Flow::PeecRlcFull, net));
+  const auto prima = core::analyze(l, opts);
+  EXPECT_GT(prima.reduced_order, 0u);
+  EXPECT_LT(prima.reduced_order, prima.unknowns);
+  EXPECT_NEAR(prima.worst_delay, full.worst_delay, 0.3 * full.worst_delay);
+}
+
+TEST(Analyzer, HierarchicalFlowMatchesFullModel) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  auto opts = base_options(core::Flow::PeecRlcHier, net);
+  opts.params.hier_order_per_block = 10;
+  const auto full =
+      core::analyze(l, base_options(core::Flow::PeecRlcFull, net));
+  const auto hier = core::analyze(l, opts);
+  EXPECT_GT(hier.reduced_order, 0u);
+  EXPECT_LT(hier.reduced_order, hier.unknowns);
+  EXPECT_NEAR(hier.worst_delay, full.worst_delay, 0.3 * full.worst_delay);
+}
+
+TEST(Analyzer, LoopModelSmallerThanPeec) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  const auto peec =
+      core::analyze(l, base_options(core::Flow::PeecRlcFull, net));
+  const auto loop = core::analyze(l, base_options(core::Flow::LoopRlc, net));
+  EXPECT_LT(loop.counts.resistors, peec.counts.resistors);
+  EXPECT_LT(loop.counts.inductors, peec.counts.inductors);
+  EXPECT_EQ(loop.counts.mutuals, 0u);
+}
+
+TEST(Analyzer, LoopFlowRequiresSignalNet) {
+  const geom::Layout l = test_workload();
+  auto opts = base_options(core::Flow::LoopRlc, -1);
+  EXPECT_THROW(core::analyze(l, opts), std::invalid_argument);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(core::format_ps(86e-12), "86ps");
+  EXPECT_EQ(core::format_count(219847), "220k");
+  EXPECT_EQ(core::format_count(420), "420");
+  EXPECT_EQ(core::format_count(14'600'000'000ull), "14.6G");
+  EXPECT_EQ(core::format_runtime(2700.0), "45.0 min.");
+  EXPECT_EQ(core::format_runtime(4.2), "4.20s");
+  EXPECT_EQ(core::format_ps(std::numeric_limits<double>::infinity()), "-");
+}
+
+TEST(Report, Table1RowShape) {
+  core::AnalysisReport r;
+  r.flow = core::Flow::PeecRc;
+  r.worst_delay = 86e-12;
+  r.skew = 9e-12;
+  const auto row = core::table1_row(r);
+  ASSERT_EQ(row.size(), core::table1_header().size());
+  EXPECT_EQ(row[0], "PEEC (RC)");
+  EXPECT_EQ(row[3], "-");  // no inductors in an RC row
+  EXPECT_EQ(row[5], "86ps");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PEEC frequency-domain port characterisation (the Fig. 3b PEEC curve).
+// ---------------------------------------------------------------------------
+
+#include "core/frequency_analysis.hpp"
+#include "loop/port_extractor.hpp"
+
+namespace {
+
+TEST(PeecPortImpedance, AgreesWithLoopAtLowFrequencyThenDiverges) {
+  geom::Layout l(geom::default_tech());
+  const int sig = l.add_net("sig", geom::NetKind::Signal);
+  const int gnd = l.add_net("gnd", geom::NetKind::Ground);
+  l.add_wire(sig, 6, {0, 0}, {um(800), 0}, um(2));
+  l.add_wire(gnd, 6, {0, um(5)}, {um(800), um(5)}, um(2));
+  geom::Driver d;
+  d.at = {0, 0};
+  d.layer = 6;
+  d.signal_net = sig;
+  l.add_driver(d);
+  geom::Receiver r;
+  r.at = {um(800), 0};
+  r.layer = 6;
+  r.signal_net = sig;
+  r.name = "rcv";
+  l.add_receiver(r);
+
+  loop::LoopExtractionOptions lopts;
+  lopts.max_segment_length = um(200);
+  core::PeecPortOptions popts;
+  popts.peec.max_segment_length = um(200);
+
+  const std::vector<double> freqs{1e8, 1e11};
+  const auto loop_z = loop::extract_loop_rl(l, sig, freqs, lopts);
+  const auto peec_z = core::peec_port_impedance(l, sig, freqs, popts);
+
+  // Low frequency: capacitance is invisible, the two models agree.
+  EXPECT_NEAR(peec_z[0].resistance, loop_z[0].resistance,
+              0.02 * loop_z[0].resistance);
+  EXPECT_NEAR(peec_z[0].inductance, loop_z[0].inductance,
+              0.05 * loop_z[0].inductance);
+  // High frequency: capacitive return paths drive the curves apart.
+  const double r_gap = std::abs(peec_z[1].resistance - loop_z[1].resistance);
+  EXPECT_GT(r_gap, 0.2 * loop_z[1].resistance);
+}
+
+TEST(PeecPortImpedance, RequiresDriver) {
+  geom::Layout l(geom::default_tech());
+  const int sig = l.add_net("sig", geom::NetKind::Signal);
+  l.add_wire(sig, 6, {0, 0}, {um(100), 0}, um(1));
+  EXPECT_THROW(core::peec_port_impedance(l, sig, {1e9}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Report rendering smoke tests and waveform payload checks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TEST(Report, PrintTableRendersWithoutCrashing) {
+  testing::internal::CaptureStdout();
+  core::print_table({"a", "bb"}, {{"1", "2"}, {"longer", ""}});
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Analyzer, ReportCarriesFullWaveforms) {
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  const auto r = core::analyze(l, base_options(core::Flow::PeecRlcFull, net));
+  ASSERT_EQ(r.sink_waveforms.size(), r.sink_names.size());
+  ASSERT_FALSE(r.time.empty());
+  for (const auto& w : r.sink_waveforms) EXPECT_EQ(w.size(), r.time.size());
+  // Waveforms start at ground and end at the rail.
+  EXPECT_NEAR(r.sink_waveforms[0].front(), 0.0, 0.05);
+  EXPECT_NEAR(r.sink_waveforms[0].back(), 1.8, 0.05);
+  EXPECT_GT(r.build_seconds, 0.0);
+  EXPECT_GT(r.solve_seconds, 0.0);
+}
+
+TEST(Analyzer, TruncatedFlowRunsEvenIfUnstableMatrix) {
+  // The truncation flow must at least build and simulate (the instability
+  // the paper warns about is a model-quality problem surfaced by the
+  // stability certificate, not a crash).
+  int net = -1;
+  const geom::Layout l = test_workload(&net);
+  auto opts = base_options(core::Flow::PeecRlcTruncated, net);
+  opts.params.truncation_ratio = 0.5;
+  const auto r = core::analyze(l, opts);
+  EXPECT_FALSE(r.sink_waveforms.empty());
+}
+
+}  // namespace

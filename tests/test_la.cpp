@@ -1,0 +1,360 @@
+// Unit tests for the linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/eig.hpp"
+#include "la/lu.hpp"
+#include "la/qr.hpp"
+#include "la/sparse.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace {
+
+using namespace ind::la;
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(DenseMatrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(DenseMatrix, Multiply) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, Transpose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(DenseMatrix, ApplyAndApplyTransposed) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vector y = a.apply({1.0, -1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+  const Vector z = a.apply_transposed({1.0, 0.0, 1.0});
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_DOUBLE_EQ(z[0], 6.0);
+  EXPECT_DOUBLE_EQ(z[1], 8.0);
+}
+
+TEST(DenseMatrix, SymmetryCheck) {
+  Matrix s{{2, 1}, {1, 2}};
+  EXPECT_TRUE(is_symmetric(s));
+  s(0, 1) = 1.5;
+  EXPECT_FALSE(is_symmetric(s));
+}
+
+TEST(DenseMatrix, Norms) {
+  Matrix m{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs(m), 4.0);
+  EXPECT_DOUBLE_EQ(inf_norm(Vector{1.0, -7.0, 3.0}), 7.0);
+}
+
+TEST(Lu, SolvesRandomSystem) {
+  Matrix a{{4, -2, 1}, {-2, 4, -2}, {1, -2, 4}};
+  const Vector x_ref{1.0, 2.0, 3.0};
+  const Vector b = a.apply(x_ref);
+  const Vector x = solve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a{{0, 1}, {1, 0}};
+  const Vector x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(LU lu(a), SingularMatrixError);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a{{2, 0}, {0, 3}};
+  EXPECT_NEAR(LU(a).determinant(), 6.0, 1e-14);
+  Matrix b{{0, 1}, {1, 0}};  // permutation, det = -1
+  EXPECT_NEAR(LU(b).determinant(), -1.0, 1e-14);
+}
+
+TEST(Lu, ComplexSolve) {
+  CMatrix a(2, 2);
+  a(0, 0) = {1, 1};
+  a(0, 1) = {0, 1};
+  a(1, 0) = {0, -1};
+  a(1, 1) = {2, 0};
+  const CVector x_ref{{1, 2}, {3, -1}};
+  const CVector b = a.apply(x_ref);
+  const CVector x = solve(a, b);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(x[i].real(), x_ref[i].real(), 1e-12);
+    EXPECT_NEAR(x[i].imag(), x_ref[i].imag(), 1e-12);
+  }
+}
+
+TEST(Lu, Inverse) {
+  Matrix a{{4, 7}, {2, 6}};
+  const Matrix inv = inverse(a);
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  Matrix a{{4, 2}, {2, 3}};
+  const auto f = Cholesky::factor(a);
+  ASSERT_TRUE(f.has_value());
+  const Vector x = f->solve({8.0, 7.0});
+  const Vector b = a.apply(x);
+  EXPECT_NEAR(b[0], 8.0, 1e-12);
+  EXPECT_NEAR(b[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+  EXPECT_FALSE(is_positive_definite(a));
+  EXPECT_TRUE(is_positive_definite(Matrix{{2, 1}, {1, 2}}));
+}
+
+TEST(Cholesky, MinEigenvalueBisect) {
+  Matrix a{{1, 2}, {2, 1}};
+  EXPECT_NEAR(min_eigenvalue_bisect(a, 1.0), -1.0, 1e-9);
+  Matrix b{{3, 0}, {0, 5}};
+  EXPECT_NEAR(min_eigenvalue_bisect(b, 5.0), 3.0, 1e-9);
+}
+
+TEST(Qr, OrthonormalizesColumns) {
+  Matrix a{{1, 1}, {1, 0}, {0, 1}};
+  const QrResult r = orthonormalize(a);
+  EXPECT_EQ(r.rank, 2u);
+  // Q^T Q = I
+  for (std::size_t i = 0; i < r.rank; ++i) {
+    for (std::size_t j = 0; j < r.rank; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) dot += r.q(k, i) * r.q(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Qr, DeflatesDependentColumns) {
+  Matrix a{{1, 2}, {1, 2}, {1, 2}};  // second column is 2x the first
+  const QrResult r = orthonormalize(a);
+  EXPECT_EQ(r.rank, 1u);
+}
+
+TEST(Qr, OrthonormalizeAgainstExistingBasis) {
+  Matrix q{{1}, {0}, {0}};
+  Matrix a{{1}, {1}, {0}};
+  const QrResult r = orthonormalize_against(a, q);
+  ASSERT_EQ(r.rank, 1u);
+  EXPECT_NEAR(r.q(0, 0), 0.0, 1e-12);  // component along q removed
+  EXPECT_NEAR(std::abs(r.q(1, 0)), 1.0, 1e-12);
+}
+
+TEST(Qr, Hcat) {
+  Matrix a{{1}, {2}};
+  Matrix b{{3}, {4}};
+  const Matrix c = hcat(a, b);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(Sparse, TripletToCscMergesDuplicates) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);  // duplicate stamp
+  t.add(2, 1, 5.0);
+  const CscMatrix a(t);
+  EXPECT_EQ(a.nnz(), 2u);
+  const Matrix d = a.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d(2, 1), 5.0);
+}
+
+TEST(Sparse, Apply) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 2.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 3.0);
+  const CscMatrix a(t);
+  const Vector y = a.apply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(SparseLu, MatchesDenseSolve) {
+  TripletMatrix t(4, 4);
+  const double vals[4][4] = {
+      {4, -1, 0, -1}, {-1, 4, -1, 0}, {0, -1, 4, -1}, {-1, 0, -1, 4}};
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (vals[i][j] != 0) t.add(i, j, vals[i][j]);
+  const CscMatrix a(t);
+  SparseLu lu(a);
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  const Vector x = lu.solve(b);
+  const Vector x_ref = solve(t.to_dense(), b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-12);
+}
+
+TEST(SparseLu, PivotsOnZeroDiagonal) {
+  TripletMatrix t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  SparseLu lu(CscMatrix{t});
+  const Vector x = lu.solve({5.0, 6.0});
+  EXPECT_NEAR(x[0], 6.0, 1e-14);
+  EXPECT_NEAR(x[1], 5.0, 1e-14);
+}
+
+TEST(SparseLu, ThrowsOnSingular) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 1.0);  // column 1 empty -> singular
+  EXPECT_THROW(SparseLu lu{CscMatrix{t}}, SingularMatrixError);
+}
+
+TEST(SparseLu, LargeRandomGrid) {
+  // 2-D Laplacian on a 20x20 grid: well-conditioned, sparse, SPD.
+  const int n = 20;
+  TripletMatrix t(n * n, n * n);
+  auto id = [&](int i, int j) { return static_cast<std::size_t>(i * n + j); };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      t.add(id(i, j), id(i, j), 4.0 + 0.01 * (i + j));
+      if (i > 0) t.add(id(i, j), id(i - 1, j), -1.0);
+      if (i < n - 1) t.add(id(i, j), id(i + 1, j), -1.0);
+      if (j > 0) t.add(id(i, j), id(i, j - 1), -1.0);
+      if (j < n - 1) t.add(id(i, j), id(i, j + 1), -1.0);
+    }
+  }
+  const CscMatrix a(t);
+  SparseLu lu(a);
+  Vector x_ref(static_cast<std::size_t>(n * n));
+  for (std::size_t i = 0; i < x_ref.size(); ++i)
+    x_ref[i] = std::sin(0.1 * static_cast<double>(i));
+  const Vector b = a.apply(x_ref);
+  const Vector x = lu.solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+}
+
+TEST(Eig, DominantEigenvalue) {
+  Matrix a{{2, 0}, {0, 5}};
+  EXPECT_NEAR(dominant_eigenvalue(a), 5.0, 1e-7);
+}
+
+TEST(Eig, SmallestEigenvalue) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3 and -1
+  EXPECT_NEAR(smallest_eigenvalue(a), -1.0, 1e-6);
+  Matrix b{{4, 1}, {1, 4}};  // eigenvalues 5 and 3
+  EXPECT_NEAR(smallest_eigenvalue(b), 3.0, 1e-6);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Additional linear-algebra coverage.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace ind::la;
+
+TEST(Lu, SolvesMatrixRhs) {
+  Matrix a{{4, 1}, {1, 3}};
+  Matrix b{{1, 0, 2}, {0, 1, 4}};
+  const Matrix x = LU(a).solve(b);
+  const Matrix check = a * x;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(check(i, j), b(i, j), 1e-12);
+}
+
+TEST(Lu, ComplexDeterminant) {
+  CMatrix a(2, 2);
+  a(0, 0) = {0, 1};   // j
+  a(1, 1) = {0, 1};   // j  -> det = j*j = -1
+  const Complex det = CLU(a).determinant();
+  EXPECT_NEAR(det.real(), -1.0, 1e-14);
+  EXPECT_NEAR(det.imag(), 0.0, 1e-14);
+}
+
+TEST(Cholesky, LowerTriangularStructure) {
+  Matrix a{{4, 2, 0}, {2, 5, 1}, {0, 1, 3}};
+  const auto f = Cholesky::factor(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix& l = f->lower();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = i + 1; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  // L L^T == A.
+  const Matrix rebuilt = l * l.transposed();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-12);
+}
+
+TEST(Sparse, FillCountAndOutOfRange) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  EXPECT_EQ(t.entry_count(), 2u);
+  SparseLu lu{CscMatrix{t}};
+  EXPECT_GE(lu.fill_nnz(), 2u);
+  TripletMatrix bad(2, 2);
+  bad.add(5, 0, 1.0);
+  EXPECT_THROW(CscMatrix{bad}, std::out_of_range);
+}
+
+TEST(Sparse, ApplySizeMismatchThrows) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  const CscMatrix a(t);
+  EXPECT_THROW(a.apply({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, ComplexInfNorm) {
+  const CVector v{{3, 4}, {0, 1}};
+  EXPECT_DOUBLE_EQ(inf_norm(v), 5.0);
+}
+
+TEST(Qr, EmptyInputYieldsEmptyBasis) {
+  const QrResult r = orthonormalize(Matrix(4, 0));
+  EXPECT_EQ(r.rank, 0u);
+}
+
+}  // namespace
