@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_currents.dir/bench_fig1_currents.cpp.o"
+  "CMakeFiles/bench_fig1_currents.dir/bench_fig1_currents.cpp.o.d"
+  "bench_fig1_currents"
+  "bench_fig1_currents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_currents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

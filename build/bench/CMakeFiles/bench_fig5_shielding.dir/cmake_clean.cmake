@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_shielding.dir/bench_fig5_shielding.cpp.o"
+  "CMakeFiles/bench_fig5_shielding.dir/bench_fig5_shielding.cpp.o.d"
+  "bench_fig5_shielding"
+  "bench_fig5_shielding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_shielding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

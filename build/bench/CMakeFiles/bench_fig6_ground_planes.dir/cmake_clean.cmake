@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ground_planes.dir/bench_fig6_ground_planes.cpp.o"
+  "CMakeFiles/bench_fig6_ground_planes.dir/bench_fig6_ground_planes.cpp.o.d"
+  "bench_fig6_ground_planes"
+  "bench_fig6_ground_planes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ground_planes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_interdigitated.dir/bench_fig7_interdigitated.cpp.o"
+  "CMakeFiles/bench_fig7_interdigitated.dir/bench_fig7_interdigitated.cpp.o.d"
+  "bench_fig7_interdigitated"
+  "bench_fig7_interdigitated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_interdigitated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

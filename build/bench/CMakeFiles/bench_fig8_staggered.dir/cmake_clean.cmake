@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_staggered.dir/bench_fig8_staggered.cpp.o"
+  "CMakeFiles/bench_fig8_staggered.dir/bench_fig8_staggered.cpp.o.d"
+  "bench_fig8_staggered"
+  "bench_fig8_staggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_twisted_bundle.dir/bench_fig9_twisted_bundle.cpp.o"
+  "CMakeFiles/bench_fig9_twisted_bundle.dir/bench_fig9_twisted_bundle.cpp.o.d"
+  "bench_fig9_twisted_bundle"
+  "bench_fig9_twisted_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_twisted_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

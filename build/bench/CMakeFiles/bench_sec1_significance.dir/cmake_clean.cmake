@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec1_significance.dir/bench_sec1_significance.cpp.o"
+  "CMakeFiles/bench_sec1_significance.dir/bench_sec1_significance.cpp.o.d"
+  "bench_sec1_significance"
+  "bench_sec1_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

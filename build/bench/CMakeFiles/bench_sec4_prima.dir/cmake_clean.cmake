@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_prima.dir/bench_sec4_prima.cpp.o"
+  "CMakeFiles/bench_sec4_prima.dir/bench_sec4_prima.cpp.o.d"
+  "bench_sec4_prima"
+  "bench_sec4_prima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_prima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

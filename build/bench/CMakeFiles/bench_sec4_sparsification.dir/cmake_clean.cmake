@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_sparsification.dir/bench_sec4_sparsification.cpp.o"
+  "CMakeFiles/bench_sec4_sparsification.dir/bench_sec4_sparsification.cpp.o.d"
+  "bench_sec4_sparsification"
+  "bench_sec4_sparsification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_sparsification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_shield_order.dir/bench_sec7_shield_order.cpp.o"
+  "CMakeFiles/bench_sec7_shield_order.dir/bench_sec7_shield_order.cpp.o.d"
+  "bench_sec7_shield_order"
+  "bench_sec7_shield_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_shield_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

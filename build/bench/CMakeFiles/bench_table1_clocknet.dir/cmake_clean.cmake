@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_clocknet.dir/bench_table1_clocknet.cpp.o"
+  "CMakeFiles/bench_table1_clocknet.dir/bench_table1_clocknet.cpp.o.d"
+  "bench_table1_clocknet"
+  "bench_table1_clocknet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_clocknet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

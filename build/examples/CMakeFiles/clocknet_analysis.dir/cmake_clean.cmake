@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocknet_analysis.dir/clocknet_analysis.cpp.o"
+  "CMakeFiles/clocknet_analysis.dir/clocknet_analysis.cpp.o.d"
+  "clocknet_analysis"
+  "clocknet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocknet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

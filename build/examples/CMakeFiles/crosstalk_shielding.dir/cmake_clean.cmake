@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_shielding.dir/crosstalk_shielding.cpp.o"
+  "CMakeFiles/crosstalk_shielding.dir/crosstalk_shielding.cpp.o.d"
+  "crosstalk_shielding"
+  "crosstalk_shielding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_shielding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

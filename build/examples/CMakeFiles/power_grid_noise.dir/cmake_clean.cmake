@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_grid_noise.dir/power_grid_noise.cpp.o"
+  "CMakeFiles/power_grid_noise.dir/power_grid_noise.cpp.o.d"
+  "power_grid_noise"
+  "power_grid_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

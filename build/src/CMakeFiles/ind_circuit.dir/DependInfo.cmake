@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/ac.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/ac.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/sources.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/sources.cpp.o.d"
+  "/root/repo/src/circuit/spice_export.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/spice_export.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/spice_export.cpp.o.d"
+  "/root/repo/src/circuit/spice_import.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/spice_import.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/spice_import.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/transient.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/CMakeFiles/ind_circuit.dir/circuit/waveform.cpp.o" "gcc" "src/CMakeFiles/ind_circuit.dir/circuit/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

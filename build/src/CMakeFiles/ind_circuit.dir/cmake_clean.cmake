@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_circuit.dir/circuit/ac.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/ac.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/mna.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/mna.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/sources.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/sources.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/spice_export.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/spice_export.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/spice_import.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/spice_import.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/transient.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/transient.cpp.o.d"
+  "CMakeFiles/ind_circuit.dir/circuit/waveform.cpp.o"
+  "CMakeFiles/ind_circuit.dir/circuit/waveform.cpp.o.d"
+  "libind_circuit.a"
+  "libind_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

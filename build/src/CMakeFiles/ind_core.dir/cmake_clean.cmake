@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_core.dir/core/analyzer.cpp.o"
+  "CMakeFiles/ind_core.dir/core/analyzer.cpp.o.d"
+  "CMakeFiles/ind_core.dir/core/frequency_analysis.cpp.o"
+  "CMakeFiles/ind_core.dir/core/frequency_analysis.cpp.o.d"
+  "CMakeFiles/ind_core.dir/core/report.cpp.o"
+  "CMakeFiles/ind_core.dir/core/report.cpp.o.d"
+  "libind_core.a"
+  "libind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/metrics.cpp" "src/CMakeFiles/ind_design.dir/design/metrics.cpp.o" "gcc" "src/CMakeFiles/ind_design.dir/design/metrics.cpp.o.d"
+  "/root/repo/src/design/shield_optimizer.cpp" "src/CMakeFiles/ind_design.dir/design/shield_optimizer.cpp.o" "gcc" "src/CMakeFiles/ind_design.dir/design/shield_optimizer.cpp.o.d"
+  "/root/repo/src/design/significance.cpp" "src/CMakeFiles/ind_design.dir/design/significance.cpp.o" "gcc" "src/CMakeFiles/ind_design.dir/design/significance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_loop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

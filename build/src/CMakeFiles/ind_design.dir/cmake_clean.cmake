@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_design.dir/design/metrics.cpp.o"
+  "CMakeFiles/ind_design.dir/design/metrics.cpp.o.d"
+  "CMakeFiles/ind_design.dir/design/shield_optimizer.cpp.o"
+  "CMakeFiles/ind_design.dir/design/shield_optimizer.cpp.o.d"
+  "CMakeFiles/ind_design.dir/design/significance.cpp.o"
+  "CMakeFiles/ind_design.dir/design/significance.cpp.o.d"
+  "libind_design.a"
+  "libind_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libind_design.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/capacitance.cpp" "src/CMakeFiles/ind_extract.dir/extract/capacitance.cpp.o" "gcc" "src/CMakeFiles/ind_extract.dir/extract/capacitance.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/CMakeFiles/ind_extract.dir/extract/extractor.cpp.o" "gcc" "src/CMakeFiles/ind_extract.dir/extract/extractor.cpp.o.d"
+  "/root/repo/src/extract/partial_inductance.cpp" "src/CMakeFiles/ind_extract.dir/extract/partial_inductance.cpp.o" "gcc" "src/CMakeFiles/ind_extract.dir/extract/partial_inductance.cpp.o.d"
+  "/root/repo/src/extract/resistance.cpp" "src/CMakeFiles/ind_extract.dir/extract/resistance.cpp.o" "gcc" "src/CMakeFiles/ind_extract.dir/extract/resistance.cpp.o.d"
+  "/root/repo/src/extract/skin.cpp" "src/CMakeFiles/ind_extract.dir/extract/skin.cpp.o" "gcc" "src/CMakeFiles/ind_extract.dir/extract/skin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

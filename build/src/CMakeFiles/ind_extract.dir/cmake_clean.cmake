@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_extract.dir/extract/capacitance.cpp.o"
+  "CMakeFiles/ind_extract.dir/extract/capacitance.cpp.o.d"
+  "CMakeFiles/ind_extract.dir/extract/extractor.cpp.o"
+  "CMakeFiles/ind_extract.dir/extract/extractor.cpp.o.d"
+  "CMakeFiles/ind_extract.dir/extract/partial_inductance.cpp.o"
+  "CMakeFiles/ind_extract.dir/extract/partial_inductance.cpp.o.d"
+  "CMakeFiles/ind_extract.dir/extract/resistance.cpp.o"
+  "CMakeFiles/ind_extract.dir/extract/resistance.cpp.o.d"
+  "CMakeFiles/ind_extract.dir/extract/skin.cpp.o"
+  "CMakeFiles/ind_extract.dir/extract/skin.cpp.o.d"
+  "libind_extract.a"
+  "libind_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/layer.cpp" "src/CMakeFiles/ind_geom.dir/geom/layer.cpp.o" "gcc" "src/CMakeFiles/ind_geom.dir/geom/layer.cpp.o.d"
+  "/root/repo/src/geom/layout.cpp" "src/CMakeFiles/ind_geom.dir/geom/layout.cpp.o" "gcc" "src/CMakeFiles/ind_geom.dir/geom/layout.cpp.o.d"
+  "/root/repo/src/geom/layout_io.cpp" "src/CMakeFiles/ind_geom.dir/geom/layout_io.cpp.o" "gcc" "src/CMakeFiles/ind_geom.dir/geom/layout_io.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/CMakeFiles/ind_geom.dir/geom/segment.cpp.o" "gcc" "src/CMakeFiles/ind_geom.dir/geom/segment.cpp.o.d"
+  "/root/repo/src/geom/topologies.cpp" "src/CMakeFiles/ind_geom.dir/geom/topologies.cpp.o" "gcc" "src/CMakeFiles/ind_geom.dir/geom/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_geom.dir/geom/layer.cpp.o"
+  "CMakeFiles/ind_geom.dir/geom/layer.cpp.o.d"
+  "CMakeFiles/ind_geom.dir/geom/layout.cpp.o"
+  "CMakeFiles/ind_geom.dir/geom/layout.cpp.o.d"
+  "CMakeFiles/ind_geom.dir/geom/layout_io.cpp.o"
+  "CMakeFiles/ind_geom.dir/geom/layout_io.cpp.o.d"
+  "CMakeFiles/ind_geom.dir/geom/segment.cpp.o"
+  "CMakeFiles/ind_geom.dir/geom/segment.cpp.o.d"
+  "CMakeFiles/ind_geom.dir/geom/topologies.cpp.o"
+  "CMakeFiles/ind_geom.dir/geom/topologies.cpp.o.d"
+  "libind_geom.a"
+  "libind_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

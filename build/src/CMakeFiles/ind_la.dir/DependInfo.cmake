@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cholesky.cpp" "src/CMakeFiles/ind_la.dir/la/cholesky.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/cholesky.cpp.o.d"
+  "/root/repo/src/la/dense_matrix.cpp" "src/CMakeFiles/ind_la.dir/la/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/dense_matrix.cpp.o.d"
+  "/root/repo/src/la/eig.cpp" "src/CMakeFiles/ind_la.dir/la/eig.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/eig.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/CMakeFiles/ind_la.dir/la/lu.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/lu.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/CMakeFiles/ind_la.dir/la/qr.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/qr.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "src/CMakeFiles/ind_la.dir/la/sparse.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/sparse.cpp.o.d"
+  "/root/repo/src/la/sparse_lu.cpp" "src/CMakeFiles/ind_la.dir/la/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/ind_la.dir/la/sparse_lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_la.dir/la/cholesky.cpp.o"
+  "CMakeFiles/ind_la.dir/la/cholesky.cpp.o.d"
+  "CMakeFiles/ind_la.dir/la/dense_matrix.cpp.o"
+  "CMakeFiles/ind_la.dir/la/dense_matrix.cpp.o.d"
+  "CMakeFiles/ind_la.dir/la/eig.cpp.o"
+  "CMakeFiles/ind_la.dir/la/eig.cpp.o.d"
+  "CMakeFiles/ind_la.dir/la/lu.cpp.o"
+  "CMakeFiles/ind_la.dir/la/lu.cpp.o.d"
+  "CMakeFiles/ind_la.dir/la/qr.cpp.o"
+  "CMakeFiles/ind_la.dir/la/qr.cpp.o.d"
+  "CMakeFiles/ind_la.dir/la/sparse.cpp.o"
+  "CMakeFiles/ind_la.dir/la/sparse.cpp.o.d"
+  "CMakeFiles/ind_la.dir/la/sparse_lu.cpp.o"
+  "CMakeFiles/ind_la.dir/la/sparse_lu.cpp.o.d"
+  "libind_la.a"
+  "libind_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

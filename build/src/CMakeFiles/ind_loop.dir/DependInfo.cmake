@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loop/ladder_fit.cpp" "src/CMakeFiles/ind_loop.dir/loop/ladder_fit.cpp.o" "gcc" "src/CMakeFiles/ind_loop.dir/loop/ladder_fit.cpp.o.d"
+  "/root/repo/src/loop/loop_model.cpp" "src/CMakeFiles/ind_loop.dir/loop/loop_model.cpp.o" "gcc" "src/CMakeFiles/ind_loop.dir/loop/loop_model.cpp.o.d"
+  "/root/repo/src/loop/mqs_solver.cpp" "src/CMakeFiles/ind_loop.dir/loop/mqs_solver.cpp.o" "gcc" "src/CMakeFiles/ind_loop.dir/loop/mqs_solver.cpp.o.d"
+  "/root/repo/src/loop/port_extractor.cpp" "src/CMakeFiles/ind_loop.dir/loop/port_extractor.cpp.o" "gcc" "src/CMakeFiles/ind_loop.dir/loop/port_extractor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

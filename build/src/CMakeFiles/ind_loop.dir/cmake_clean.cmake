@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_loop.dir/loop/ladder_fit.cpp.o"
+  "CMakeFiles/ind_loop.dir/loop/ladder_fit.cpp.o.d"
+  "CMakeFiles/ind_loop.dir/loop/loop_model.cpp.o"
+  "CMakeFiles/ind_loop.dir/loop/loop_model.cpp.o.d"
+  "CMakeFiles/ind_loop.dir/loop/mqs_solver.cpp.o"
+  "CMakeFiles/ind_loop.dir/loop/mqs_solver.cpp.o.d"
+  "CMakeFiles/ind_loop.dir/loop/port_extractor.cpp.o"
+  "CMakeFiles/ind_loop.dir/loop/port_extractor.cpp.o.d"
+  "libind_loop.a"
+  "libind_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

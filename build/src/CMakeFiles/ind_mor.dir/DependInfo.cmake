@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mor/hierarchical.cpp" "src/CMakeFiles/ind_mor.dir/mor/hierarchical.cpp.o" "gcc" "src/CMakeFiles/ind_mor.dir/mor/hierarchical.cpp.o.d"
+  "/root/repo/src/mor/prima.cpp" "src/CMakeFiles/ind_mor.dir/mor/prima.cpp.o" "gcc" "src/CMakeFiles/ind_mor.dir/mor/prima.cpp.o.d"
+  "/root/repo/src/mor/reduced_model.cpp" "src/CMakeFiles/ind_mor.dir/mor/reduced_model.cpp.o" "gcc" "src/CMakeFiles/ind_mor.dir/mor/reduced_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

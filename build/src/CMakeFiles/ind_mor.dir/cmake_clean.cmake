@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_mor.dir/mor/hierarchical.cpp.o"
+  "CMakeFiles/ind_mor.dir/mor/hierarchical.cpp.o.d"
+  "CMakeFiles/ind_mor.dir/mor/prima.cpp.o"
+  "CMakeFiles/ind_mor.dir/mor/prima.cpp.o.d"
+  "CMakeFiles/ind_mor.dir/mor/reduced_model.cpp.o"
+  "CMakeFiles/ind_mor.dir/mor/reduced_model.cpp.o.d"
+  "libind_mor.a"
+  "libind_mor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_mor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

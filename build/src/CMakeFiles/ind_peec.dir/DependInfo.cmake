@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peec/decap.cpp" "src/CMakeFiles/ind_peec.dir/peec/decap.cpp.o" "gcc" "src/CMakeFiles/ind_peec.dir/peec/decap.cpp.o.d"
+  "/root/repo/src/peec/grid_analysis.cpp" "src/CMakeFiles/ind_peec.dir/peec/grid_analysis.cpp.o" "gcc" "src/CMakeFiles/ind_peec.dir/peec/grid_analysis.cpp.o.d"
+  "/root/repo/src/peec/model_builder.cpp" "src/CMakeFiles/ind_peec.dir/peec/model_builder.cpp.o" "gcc" "src/CMakeFiles/ind_peec.dir/peec/model_builder.cpp.o.d"
+  "/root/repo/src/peec/package.cpp" "src/CMakeFiles/ind_peec.dir/peec/package.cpp.o" "gcc" "src/CMakeFiles/ind_peec.dir/peec/package.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

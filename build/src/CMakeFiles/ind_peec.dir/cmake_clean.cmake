@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_peec.dir/peec/decap.cpp.o"
+  "CMakeFiles/ind_peec.dir/peec/decap.cpp.o.d"
+  "CMakeFiles/ind_peec.dir/peec/grid_analysis.cpp.o"
+  "CMakeFiles/ind_peec.dir/peec/grid_analysis.cpp.o.d"
+  "CMakeFiles/ind_peec.dir/peec/model_builder.cpp.o"
+  "CMakeFiles/ind_peec.dir/peec/model_builder.cpp.o.d"
+  "CMakeFiles/ind_peec.dir/peec/package.cpp.o"
+  "CMakeFiles/ind_peec.dir/peec/package.cpp.o.d"
+  "libind_peec.a"
+  "libind_peec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_peec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

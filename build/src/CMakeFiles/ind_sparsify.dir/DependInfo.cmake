@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparsify/block_diagonal.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/block_diagonal.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/block_diagonal.cpp.o.d"
+  "/root/repo/src/sparsify/halo.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/halo.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/halo.cpp.o.d"
+  "/root/repo/src/sparsify/kmatrix.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/kmatrix.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/kmatrix.cpp.o.d"
+  "/root/repo/src/sparsify/mutual_spec.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/mutual_spec.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/mutual_spec.cpp.o.d"
+  "/root/repo/src/sparsify/shell.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/shell.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/shell.cpp.o.d"
+  "/root/repo/src/sparsify/stability.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/stability.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/stability.cpp.o.d"
+  "/root/repo/src/sparsify/truncation.cpp" "src/CMakeFiles/ind_sparsify.dir/sparsify/truncation.cpp.o" "gcc" "src/CMakeFiles/ind_sparsify.dir/sparsify/truncation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

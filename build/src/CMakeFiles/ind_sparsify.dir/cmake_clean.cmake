@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_sparsify.dir/sparsify/block_diagonal.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/block_diagonal.cpp.o.d"
+  "CMakeFiles/ind_sparsify.dir/sparsify/halo.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/halo.cpp.o.d"
+  "CMakeFiles/ind_sparsify.dir/sparsify/kmatrix.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/kmatrix.cpp.o.d"
+  "CMakeFiles/ind_sparsify.dir/sparsify/mutual_spec.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/mutual_spec.cpp.o.d"
+  "CMakeFiles/ind_sparsify.dir/sparsify/shell.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/shell.cpp.o.d"
+  "CMakeFiles/ind_sparsify.dir/sparsify/stability.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/stability.cpp.o.d"
+  "CMakeFiles/ind_sparsify.dir/sparsify/truncation.cpp.o"
+  "CMakeFiles/ind_sparsify.dir/sparsify/truncation.cpp.o.d"
+  "libind_sparsify.a"
+  "libind_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/ind_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/ind_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/ind_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_extract.cpp" "tests/CMakeFiles/ind_tests.dir/test_extract.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_extract.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/ind_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_geom_io.cpp" "tests/CMakeFiles/ind_tests.dir/test_geom_io.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_geom_io.cpp.o.d"
+  "/root/repo/tests/test_la.cpp" "tests/CMakeFiles/ind_tests.dir/test_la.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_la.cpp.o.d"
+  "/root/repo/tests/test_loop.cpp" "tests/CMakeFiles/ind_tests.dir/test_loop.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_loop.cpp.o.d"
+  "/root/repo/tests/test_mor.cpp" "tests/CMakeFiles/ind_tests.dir/test_mor.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_mor.cpp.o.d"
+  "/root/repo/tests/test_peec.cpp" "tests/CMakeFiles/ind_tests.dir/test_peec.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_peec.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ind_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sparsify.cpp" "tests/CMakeFiles/ind_tests.dir/test_sparsify.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_sparsify.cpp.o.d"
+  "/root/repo/tests/test_spice_export.cpp" "tests/CMakeFiles/ind_tests.dir/test_spice_export.cpp.o" "gcc" "tests/CMakeFiles/ind_tests.dir/test_spice_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_sparsify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_mor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_loop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ind_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

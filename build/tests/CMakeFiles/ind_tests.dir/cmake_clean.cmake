@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_tests.dir/test_circuit.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_circuit.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_core.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_design.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_design.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_extract.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_extract.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_geom.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_geom.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_geom_io.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_geom_io.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_la.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_la.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_loop.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_loop.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_mor.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_mor.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_peec.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_peec.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_sparsify.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_sparsify.cpp.o.d"
+  "CMakeFiles/ind_tests.dir/test_spice_export.cpp.o"
+  "CMakeFiles/ind_tests.dir/test_spice_export.cpp.o.d"
+  "ind_tests"
+  "ind_tests.pdb"
+  "ind_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
