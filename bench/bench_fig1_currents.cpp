@@ -11,11 +11,13 @@
 #include "circuit/transient.hpp"
 #include "geom/topologies.hpp"
 #include "peec/model_builder.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig1_currents");
   std::printf("Fig. 1 — currents in the driver-receiver-grid topology\n");
   std::printf("======================================================\n\n");
 

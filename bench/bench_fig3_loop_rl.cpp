@@ -11,11 +11,13 @@
 #include "geom/topologies.hpp"
 #include "loop/ladder_fit.hpp"
 #include "loop/port_extractor.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig3_loop_rl");
   std::printf("Fig. 3 — loop R & L vs log(frequency)\n");
   std::printf("=====================================\n\n");
 

@@ -11,11 +11,13 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig4_clock_waveforms");
   std::printf("Fig. 4 — clock-net waveforms: Loop vs PEEC vs RC\n");
   std::printf("================================================\n\n");
 

@@ -6,6 +6,7 @@
 
 #include "design/metrics.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -42,6 +43,7 @@ geom::Layout shielded_line(double edge_spacing_um, bool with_shields) {
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig5_shielding");
   std::printf("Fig. 5 — shielding: loop inductance vs shield spacing\n");
   std::printf("=====================================================\n\n");
 

@@ -9,6 +9,7 @@
 
 #include "geom/topologies.hpp"
 #include "loop/port_extractor.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -82,6 +83,7 @@ geom::Layout make(ReturnStyle style) {
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig6_ground_planes");
   std::printf("Fig. 6 — L vs frequency: ground planes vs shields\n");
   std::printf("=================================================\n\n");
 

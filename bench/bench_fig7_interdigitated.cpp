@@ -7,11 +7,13 @@
 #include "design/metrics.hpp"
 #include "extract/extractor.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig7_interdigitated");
   std::printf("Fig. 7 — inter-digitated wires: L/R/C vs finger count\n");
   std::printf("=====================================================\n\n");
 

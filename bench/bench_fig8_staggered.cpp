@@ -13,6 +13,7 @@
 
 #include "design/metrics.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -92,6 +93,7 @@ double victim_noise_for(const Config& cfg) {
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig8_staggered");
   std::printf("Fig. 8 — staggered (inverting) repeaters: victim noise\n");
   std::printf("======================================================\n\n");
 

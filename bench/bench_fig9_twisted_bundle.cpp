@@ -8,11 +8,13 @@
 
 #include "design/metrics.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("fig9_twisted_bundle");
   std::printf("Fig. 9 — twisted-bundle layout vs parallel bundle\n");
   std::printf("=================================================\n\n");
 

@@ -9,6 +9,7 @@
 #include "core/analyzer.hpp"
 #include "design/significance.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -60,6 +61,7 @@ Sweep make(double length_um) {
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("sec1_significance");
   std::printf("Reference [1] — when does on-chip inductance matter?\n");
   std::printf("====================================================\n\n");
 

@@ -10,11 +10,13 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("sec3_granularity");
   std::printf("Section 3 — PEEC granularity and coupling-window ablation\n");
   std::printf("=========================================================\n\n");
 

@@ -7,11 +7,13 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("sec4_prima");
   std::printf("Section 4 — PRIMA reduced-order flow (combined technique of [4])\n");
   std::printf("================================================================\n\n");
 

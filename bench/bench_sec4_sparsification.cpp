@@ -13,11 +13,13 @@
 #include "sparsify/shell.hpp"
 #include "sparsify/stability.hpp"
 #include "sparsify/truncation.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("sec4_sparsification");
   std::printf("Section 4 — sparsification schemes: stability / density / accuracy\n");
   std::printf("==================================================================\n\n");
 

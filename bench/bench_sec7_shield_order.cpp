@@ -6,11 +6,13 @@
 
 #include "design/metrics.hpp"
 #include "design/shield_optimizer.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("sec7_shield_order");
   std::printf("Section 7 — simultaneous shield insertion and net ordering\n");
   std::printf("==========================================================\n\n");
 

@@ -12,11 +12,13 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("table1_clocknet");
   std::printf("Table 1 — simulation of global clock net\n");
   std::printf("========================================\n\n");
 

@@ -9,11 +9,13 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("clocknet_analysis");
   std::printf("Global clock net analysis (H-tree over power grid)\n");
   std::printf("==================================================\n\n");
 

@@ -8,6 +8,7 @@
 
 #include "design/metrics.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -61,6 +62,7 @@ double measure_noise(const BusUnderTest& t) {
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("crosstalk_shielding");
   std::printf("Crosstalk and shielding (Section 7 techniques)\n");
   std::printf("==============================================\n\n");
 

@@ -12,6 +12,7 @@
 #include "design/metrics.hpp"
 #include "design/significance.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -64,6 +65,7 @@ void add_far_return(Variant& v, double len) {
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("design_space_exploration");
   std::printf("Design-space exploration for one 1.2mm global signal\n");
   std::printf("====================================================\n\n");
   const double len = um(1200);

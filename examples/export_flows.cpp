@@ -13,11 +13,13 @@
 #include "geom/topologies.hpp"
 #include "loop/loop_model.hpp"
 #include "peec/model_builder.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main(int argc, char** argv) {
+  ind::runtime::BenchReport bench_report("export_flows");
   const std::string dir = argc > 1 ? argv[1] : ".";
   std::printf("Export flows: layout text + SPICE decks\n");
   std::printf("=======================================\n\n");

@@ -9,6 +9,7 @@
 #include "circuit/waveform.hpp"
 #include "geom/topologies.hpp"
 #include "peec/model_builder.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
@@ -56,6 +57,7 @@ double supply_droop(double pad_l_scale, double decap_pf, bool background,
 }  // namespace
 
 int main() {
+  ind::runtime::BenchReport bench_report("power_grid_noise");
   std::printf("Power grid noise vs package inductance and decap\n");
   std::printf("================================================\n\n");
   std::printf("%-34s %12s\n", "configuration", "VDD droop");

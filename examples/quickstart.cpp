@@ -8,11 +8,13 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "runtime/bench_report.hpp"
 
 using namespace ind;
 using geom::um;
 
 int main() {
+  ind::runtime::BenchReport bench_report("quickstart");
   std::printf("Inductance 101 quickstart\n");
   std::printf("=========================\n\n");
 

@@ -3,11 +3,13 @@
 #include <stdexcept>
 
 #include "la/lu.hpp"
+#include "runtime/metrics.hpp"
 
 namespace ind::circuit {
 
 AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
                   double omega, double driver_time) {
+  runtime::ScopedTimer timer("solve.ac");
   Mna mna(netlist);
   const std::size_t n = mna.size();
 

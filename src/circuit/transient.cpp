@@ -7,6 +7,7 @@
 
 #include "la/lu.hpp"
 #include "la/sparse_lu.hpp"
+#include "runtime/metrics.hpp"
 
 namespace ind::circuit {
 namespace {
@@ -87,6 +88,7 @@ TransientResult transient(const Netlist& netlist,
                           const TransientOptions& options) {
   if (options.dt <= 0.0 || options.t_stop <= 0.0)
     throw std::invalid_argument("transient: dt and t_stop must be positive");
+  runtime::ScopedTimer timer("solve.transient");
 
   Mna mna(netlist);
   const std::size_t n = mna.size();
@@ -207,6 +209,13 @@ TransientResult transient(const Netlist& netlist,
     result.step_seconds += seconds_since(t0);
     record(t_next);
   }
+  auto& metrics = runtime::MetricsRegistry::instance();
+  metrics.add_count("solve.transient.steps",
+                    static_cast<std::int64_t>(steps));
+  metrics.add_count("solve.transient.refactors",
+                    static_cast<std::int64_t>(result.refactor_count));
+  metrics.max_count("solve.transient.max_unknowns",
+                    static_cast<std::int64_t>(n));
   return result;
 }
 

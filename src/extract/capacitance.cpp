@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
+
 namespace ind::extract {
 
 double ground_cap_per_length(double w, double t, double h, double eps_r) {
@@ -43,6 +46,33 @@ double segment_coupling_cap(const geom::Segment& a, const geom::Segment& b,
   const double w = 0.5 * (a.width + b.width);
   return coupling_cap_per_length(w, a.thickness, spacing, h, tech.epsilon_r) *
          g->overlap;
+}
+
+std::vector<CouplingCap> build_coupling_caps(const geom::Layout& layout,
+                                             double window) {
+  runtime::ScopedTimer timer("extract.coupling");
+  const auto pairs = layout.adjacent_pairs(window);
+  const auto& segs = layout.segments();
+  const auto& tech = layout.tech();
+  // Parallel map into an index-addressed scratch array, then a serial
+  // in-order filter: the output is identical (values and order) to the
+  // serial pair loop at any thread count.
+  std::vector<double> value(pairs.size());
+  runtime::parallel_for(
+      pairs.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k)
+          value[k] = segment_coupling_cap(segs[pairs[k].first],
+                                          segs[pairs[k].second], tech);
+      },
+      {.grain = 64});
+  std::vector<CouplingCap> out;
+  for (std::size_t k = 0; k < pairs.size(); ++k)
+    if (value[k] > 0.0) out.push_back({pairs[k].first, pairs[k].second,
+                                       value[k]});
+  runtime::MetricsRegistry::instance().add_count(
+      "extract.coupling_caps", static_cast<std::int64_t>(out.size()));
+  return out;
 }
 
 }  // namespace ind::extract

@@ -9,6 +9,8 @@
 // Chern fits.
 #pragma once
 
+#include <vector>
+
 #include "geom/layout.hpp"
 
 namespace ind::extract {
@@ -32,5 +34,16 @@ double segment_ground_cap(const geom::Segment& s, const geom::Technology& tech);
 /// parallel segments over their axial overlap.
 double segment_coupling_cap(const geom::Segment& a, const geom::Segment& b,
                             const geom::Technology& tech);
+
+struct CouplingCap {
+  std::size_t i = 0, j = 0;  ///< segment indices
+  double value = 0.0;        ///< farads
+};
+
+/// All non-zero lateral coupling capacitances between segment pairs within
+/// `window` edge spacing. Pair evaluation is parallel; the returned order is
+/// Layout::adjacent_pairs order regardless of thread count.
+std::vector<CouplingCap> build_coupling_caps(const geom::Layout& layout,
+                                             double window);
 
 }  // namespace ind::extract

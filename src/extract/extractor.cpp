@@ -1,27 +1,42 @@
 #include "extract/extractor.hpp"
 
+#include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
+
 namespace ind::extract {
 
 Extraction extract(const geom::Layout& layout, const ExtractionOptions& opts) {
+  runtime::ScopedTimer timer("extract.total");
+  auto& metrics = runtime::MetricsRegistry::instance();
+
   Extraction out;
   const auto& segs = layout.segments();
   const auto& tech = layout.tech();
+  metrics.add_count("extract.segments",
+                    static_cast<std::int64_t>(segs.size()));
 
-  out.resistance.reserve(segs.size());
-  out.ground_cap.reserve(segs.size());
-  for (const geom::Segment& s : segs) {
-    out.resistance.push_back(segment_resistance(s, tech));
-    out.ground_cap.push_back(segment_ground_cap(s, tech));
+  // Per-segment R and C-to-ground: independent elements written by index,
+  // so the parallel result matches the serial loop exactly.
+  out.resistance.resize(segs.size());
+  out.ground_cap.resize(segs.size());
+  {
+    runtime::ScopedTimer rc_timer("extract.rc");
+    runtime::parallel_for(
+        segs.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            out.resistance[k] = segment_resistance(segs[k], tech);
+            out.ground_cap[k] = segment_ground_cap(segs[k], tech);
+          }
+        },
+        {.grain = 64});
   }
 
   if (opts.extract_inductance)
     out.partial_l =
         build_partial_inductance_matrix(segs, {.window = opts.mutual_window});
 
-  for (const auto& [i, j] : layout.adjacent_pairs(opts.coupling_window)) {
-    const double c = segment_coupling_cap(segs[i], segs[j], tech);
-    if (c > 0.0) out.coupling.push_back({i, j, c});
-  }
+  out.coupling = build_coupling_caps(layout, opts.coupling_window);
 
   out.via_resistance.reserve(layout.vias().size());
   for (const geom::Via& v : layout.vias())

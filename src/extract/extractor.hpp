@@ -28,11 +28,6 @@ struct ExtractionOptions {
   bool extract_inductance = true;
 };
 
-struct CouplingCap {
-  std::size_t i = 0, j = 0;  ///< segment indices
-  double value = 0.0;        ///< farads
-};
-
 struct Extraction {
   std::vector<double> resistance;      ///< ohms, per segment
   std::vector<double> ground_cap;      ///< farads, per segment

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
+
 namespace ind::extract {
 namespace {
 
@@ -59,18 +62,35 @@ la::Matrix build_partial_inductance_matrix(
     const std::vector<geom::Segment>& segments,
     const PartialMatrixOptions& opts) {
   const std::size_t n = segments.size();
+  runtime::ScopedTimer timer("assemble.partial_l");
+  auto& metrics = runtime::MetricsRegistry::instance();
+  metrics.max_count("assemble.partial_l.max_dim",
+                    static_cast<std::int64_t>(n));
   la::Matrix l(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    l(i, i) = self_partial_inductance(segments[i].length(), segments[i].width,
-                                      segments[i].thickness);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const auto g = geom::parallel_geometry(segments[i], segments[j]);
-      if (!g || g->center_distance() > opts.window) continue;
-      const double m = mutual_between(segments[i], segments[j]);
-      l(i, j) = m;
-      l(j, i) = m;
-    }
-  }
+  // Row-parallel over the upper triangle. Each (i, j) pair is evaluated by
+  // exactly one chunk with the same scalar arithmetic as the serial loop,
+  // and every element of `l` is written at most once — so the result is
+  // bitwise-identical to serial at any thread count (the determinism test in
+  // tests/test_runtime.cpp pins this down).
+  runtime::parallel_for(
+      n,
+      [&](std::size_t i_begin, std::size_t i_end) {
+        std::int64_t mutual_terms = 0;
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          l(i, i) = self_partial_inductance(
+              segments[i].length(), segments[i].width, segments[i].thickness);
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const auto g = geom::parallel_geometry(segments[i], segments[j]);
+            if (!g || g->center_distance() > opts.window) continue;
+            const double m = mutual_between(segments[i], segments[j]);
+            l(i, j) = m;
+            l(j, i) = m;
+            ++mutual_terms;
+          }
+        }
+        metrics.add_count("assemble.partial_l.mutual_terms", mutual_terms);
+      },
+      {.grain = 4});
   return l;
 }
 

@@ -2,10 +2,14 @@
 
 #include <cmath>
 
+#include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
+
 namespace ind::la {
 
 std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
   if (a.rows() != a.cols()) return std::nullopt;
+  runtime::ScopedTimer timer("factor.cholesky");
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
@@ -14,11 +18,25 @@ std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
     if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-      l(i, j) = acc / ljj;
-    }
+    // Column-panel update: every row i > j depends only on the finished
+    // columns k < j and on l(j, j), so the rows are independent and each
+    // one's arithmetic is identical to the serial loop (bitwise-equal
+    // results at any thread count). Gate small panels past pool dispatch.
+    auto panel = [&](std::size_t i_begin, std::size_t i_end) {
+      for (std::size_t i = i_begin; i < i_end; ++i) {
+        double acc = a(i, j);
+        for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+        l(i, j) = acc / ljj;
+      }
+    };
+    const std::size_t rows = n - j - 1;
+    if (rows >= 64)
+      runtime::parallel_for(
+          rows,
+          [&](std::size_t a_, std::size_t b_) { panel(j + 1 + a_, j + 1 + b_); },
+          {.grain = 16});
+    else
+      panel(j + 1, n);
   }
   return Cholesky(std::move(l));
 }

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
+
 namespace ind::la {
 namespace {
 
@@ -15,7 +18,10 @@ template <typename T>
 LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
   if (lu_.rows() != lu_.cols())
     throw std::invalid_argument("LuFactor: matrix must be square");
+  runtime::ScopedTimer timer("factor.lu");
   const std::size_t n = lu_.rows();
+  runtime::MetricsRegistry::instance().max_count(
+      "factor.lu.max_dim", static_cast<std::int64_t>(n));
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
 
@@ -39,12 +45,29 @@ LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
       perm_sign_ = -perm_sign_;
     }
     const T diag = lu_(k, k);
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const T factor = lu_(i, k) / diag;
-      lu_(i, k) = factor;
-      if (factor == T{}) continue;
-      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
-    }
+    // Trailing-panel update. Each row i > k is eliminated independently with
+    // arithmetic identical to the serial loop (row k is read-only here), so
+    // the parallel path is bitwise-equal to serial; the gate just skips pool
+    // dispatch when the remaining panel is too small to pay for it.
+    auto update_rows = [&](std::size_t i_begin, std::size_t i_end) {
+      for (std::size_t i = i_begin; i < i_end; ++i) {
+        const T factor = lu_(i, k) / diag;
+        lu_(i, k) = factor;
+        if (factor == T{}) continue;
+        for (std::size_t j = k + 1; j < n; ++j)
+          lu_(i, j) -= factor * lu_(k, j);
+      }
+    };
+    const std::size_t rows = n - k - 1;
+    if (rows >= 64)
+      runtime::parallel_for(
+          rows,
+          [&](std::size_t a, std::size_t b) {
+            update_rows(k + 1 + a, k + 1 + b);
+          },
+          {.grain = 16});
+    else
+      update_rows(k + 1, n);
   }
 }
 
@@ -72,12 +95,16 @@ std::vector<T> LuFactor<T>::solve(const std::vector<T>& b) const {
 template <typename T>
 DenseMatrix<T> LuFactor<T>::solve(const DenseMatrix<T>& b) const {
   DenseMatrix<T> x(b.rows(), b.cols());
-  std::vector<T> col(b.rows());
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    const auto sol = solve(col);
-    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
-  }
+  // Column-parallel multi-RHS solve: columns are independent and each chunk
+  // writes a disjoint set of them, so this matches the serial column loop.
+  runtime::parallel_for(b.cols(), [&](std::size_t j_begin, std::size_t j_end) {
+    std::vector<T> col(b.rows());
+    for (std::size_t j = j_begin; j < j_end; ++j) {
+      for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+      const auto sol = solve(col);
+      for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+    }
+  });
   return x;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <string>
 
+#include "runtime/metrics.hpp"
+
 namespace ind::la {
 namespace {
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
@@ -12,6 +14,9 @@ constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 SparseLu::SparseLu(const CscMatrix& a) : n_(a.rows()) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("SparseLu: matrix must be square");
+  runtime::ScopedTimer timer("factor.sparse_lu");
+  runtime::MetricsRegistry::instance().max_count(
+      "factor.sparse_lu.max_nnz", static_cast<std::int64_t>(a.nnz()));
   lower_.resize(n_);
   upper_.resize(n_);
   diag_.assign(n_, 0.0);

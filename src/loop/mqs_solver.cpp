@@ -1,5 +1,7 @@
 #include "loop/mqs_solver.hpp"
 
+#include "runtime/metrics.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <functional>
@@ -107,6 +109,10 @@ LoopImpedance MqsSolver::port_impedance(std::size_t plus, std::size_t minus,
                                         double frequency) const {
   if (frequency <= 0.0)
     throw std::invalid_argument("port_impedance: frequency must be positive");
+  runtime::ScopedTimer timer("solve.mqs_port");
+  runtime::MetricsRegistry::instance().max_count(
+      "solve.mqs_port.max_filaments",
+      static_cast<std::int64_t>(filaments_.size()));
   const std::size_t p = canonical(plus);
   const std::size_t ref = canonical(minus);
   if (p == ref)

@@ -4,6 +4,7 @@
 
 #include "la/lu.hpp"
 #include "la/qr.hpp"
+#include "runtime/metrics.hpp"
 
 namespace ind::mor {
 
@@ -26,7 +27,9 @@ ReducedModel prima_reduce(const la::Matrix& g, const la::Matrix& c,
   // First block: orth((G + s0 C)^{-1} B).
   la::Matrix basis(n, 0);
   la::Matrix block = factor.solve(b);
+  std::int64_t krylov_iterations = 0;
   while (basis.cols() < opts.max_order) {
+    ++krylov_iterations;
     const la::QrResult qr =
         la::orthonormalize_against(block, basis, opts.deflation_tol);
     if (qr.rank == 0) break;  // Krylov space exhausted
@@ -43,6 +46,8 @@ ReducedModel prima_reduce(const la::Matrix& g, const la::Matrix& c,
   }
   if (basis.cols() == 0)
     throw std::runtime_error("prima_reduce: empty projection basis");
+  runtime::MetricsRegistry::instance().add_count("solve.prima.iterations",
+                                                 krylov_iterations);
 
   ReducedModel r;
   r.v = basis;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "runtime/metrics.hpp"
+
 namespace ind::peec {
 namespace {
 
@@ -36,6 +38,7 @@ circuit::NodeId PeecModel::nearest_node(geom::Point p, NetKind kind) const {
 }
 
 PeecModel build_peec_model(const geom::Layout& input, const PeecOptions& opts) {
+  runtime::ScopedTimer timer("assemble.peec");
   // Reject physically shorted layouts early: cross-net metal overlap on one
   // layer would otherwise surface as silently merged or floating nodes.
   if (const auto shorts = geom::find_layout_shorts(input); !shorts.empty()) {

@@ -1,0 +1,63 @@
+#include "runtime/bench_report.hpp"
+
+#include <fstream>
+#include <locale>
+#include <sstream>
+
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ind::runtime {
+namespace {
+
+// Shifts the registry's two-space-indented JSON right so it nests cleanly
+// under the "metrics" key (cosmetic only; output is valid JSON either way).
+std::string indent_block(const std::string& json) {
+  std::string out;
+  out.reserve(json.size() + 64);
+  for (const char c : json) {
+    out += c;
+    if (c == '\n') out += "  ";
+  }
+  return out;
+}
+
+std::string render(const std::string& name, double wall_ms) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "{\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"bench\": \"" << name << "\",\n"
+     << "  \"threads\": " << global_pool().size() << ",\n";
+  if (wall_ms >= 0.0) os << "  \"wall_ms\": " << wall_ms << ",\n";
+  os << "  \"metrics\": "
+     << indent_block(MetricsRegistry::instance().to_json()) << "\n}\n";
+  return os.str();
+}
+
+std::string write(const std::string& name, double wall_ms) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << render(name, wall_ms);
+  return out ? path : std::string{};
+}
+
+}  // namespace
+
+std::string write_bench_report(const std::string& name) {
+  return write(name, -1.0);
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+BenchReport::~BenchReport() {
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  write(name_, wall_ms);
+}
+
+}  // namespace ind::runtime

@@ -1,0 +1,43 @@
+// BENCH_<name>.json emission: serialises the MetricsRegistry plus run
+// metadata so the benchmark harness can track performance across PRs.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "threads": <worker count of the global pool>,
+//     "wall_ms": <whole-process wall clock, BenchReport only>,
+//     "metrics": {
+//       "timers":   {"<phase>": {"count": N, "total_ms": X}, ...},
+//       "counters": {"<name>": N, ...}
+//     }
+//   }
+// Phase timer names follow the fixed scheme documented in metrics.hpp
+// ("extract.*", "assemble.*", "factor.*", "solve.*", "sparsify.*").
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace ind::runtime {
+
+/// Writes BENCH_<name>.json into the current working directory (wall_ms is
+/// omitted). Returns the path written, or an empty string on I/O failure.
+std::string write_bench_report(const std::string& name);
+
+/// RAII variant for benchmark/example main()s: constructed first thing,
+/// writes the report — including total wall-clock — on destruction.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ind::runtime

@@ -1,0 +1,105 @@
+#include "runtime/metrics.hpp"
+
+#include <mutex>
+#include <sstream>
+
+namespace ind::runtime {
+namespace {
+
+// JSON string escaping for metric names (which are code-controlled, but a
+// stray quote must not produce invalid JSON).
+void append_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+template <typename MapT, typename KeyT, typename MakeT>
+auto& find_or_create(std::shared_mutex& mutex, MapT& map, const KeyT& name,
+                     const MakeT& make) {
+  {
+    std::shared_lock lock(mutex);
+    if (const auto it = map.find(name); it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex);
+  auto& slot = map[std::string(name)];
+  if (!slot) slot = make();
+  return *slot;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+TimerStat& MetricsRegistry::timer(std::string_view name) {
+  return find_or_create(mutex_, timers_, name,
+                        [] { return std::make_unique<TimerStat>(); });
+}
+
+CounterStat& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(mutex_, counters_, name,
+                        [] { return std::make_unique<CounterStat>(); });
+}
+
+void MetricsRegistry::add_count(std::string_view name, std::int64_t delta) {
+  counter(name).value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::max_count(std::string_view name, std::int64_t value) {
+  auto& slot = counter(name).value;
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::unique_lock lock(mutex_);
+  for (auto& [name, t] : timers_) {
+    t->total_ns.store(0, std::memory_order_relaxed);
+    t->count.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, c] : counters_)
+    c->value.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::shared_lock lock(mutex_);
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "{\n  \"timers\": {";
+  bool first = true;
+  for (const auto& [name, t] : timers_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    append_json_string(os, name);
+    const double ms =
+        static_cast<double>(t->total_ns.load(std::memory_order_relaxed)) /
+        1e6;
+    os << ": {\"count\": " << t->count.load(std::memory_order_relaxed)
+       << ", \"total_ms\": " << ms << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    append_json_string(os, name);
+    os << ": " << c->value.load(std::memory_order_relaxed);
+  }
+  os << (first ? "" : "\n  ") << "}\n}";
+  return os.str();
+}
+
+}  // namespace ind::runtime

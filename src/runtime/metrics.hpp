@@ -1,0 +1,95 @@
+// Process-wide metrics: scoped wall-clock timers and monotonic counters
+// with thread-safe aggregation and a JSON snapshot.
+//
+// Instrumentation points live in the hot paths (extract assembly, dense and
+// sparse factorisation, transient/AC solves) under a fixed phase naming
+// scheme: "extract.*", "assemble.*", "factor.*", "solve.*", "sparsify.*".
+// bench/ and examples/ serialise the registry into BENCH_<name>.json via
+// runtime::BenchReport (bench_report.hpp); the per-PR harness diffs those
+// files to track the performance trajectory.
+//
+// Costs: one shared-lock map lookup plus two steady_clock reads per
+// ScopedTimer, atomic adds for counters — cheap enough to leave enabled in
+// release builds, too hot for per-element inner loops (instrument the call,
+// not the element).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace ind::runtime {
+
+struct TimerStat {
+  std::atomic<std::int64_t> total_ns{0};
+  std::atomic<std::int64_t> count{0};
+};
+
+struct CounterStat {
+  std::atomic<std::int64_t> value{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Stat slots are created on first use and live for the process lifetime;
+  /// returned references stay valid across reset() (which zeroes, not
+  /// erases), so call sites may cache them.
+  TimerStat& timer(std::string_view name);
+  CounterStat& counter(std::string_view name);
+
+  /// counter(name).value += delta.
+  void add_count(std::string_view name, std::int64_t delta);
+
+  /// counter(name).value = max(current, value) — for high-water marks such
+  /// as the largest matrix dimension seen.
+  void max_count(std::string_view name, std::int64_t value);
+
+  /// Zeroes every timer and counter (slots are kept).
+  void reset();
+
+  /// Snapshot as a JSON object:
+  ///   {"timers": {name: {"count": N, "total_ms": X}, ...},
+  ///    "counters": {name: N, ...}}
+  /// Keys are sorted, so equal states serialise identically.
+  std::string to_json() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<CounterStat>, std::less<>> counters_;
+};
+
+/// Accumulates the enclosing scope's wall-clock time into a named timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name)
+      : stat_(&MetricsRegistry::instance().timer(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(TimerStat& stat)
+      : stat_(&stat), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    stat_->total_ns.fetch_add(ns, std::memory_order_relaxed);
+    stat_->count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ind::runtime

@@ -1,0 +1,98 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace ind::runtime {
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(threads, 1u);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread destructors join; worker_loop drains the queue before exiting.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+unsigned parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  if (v <= 0) return 0;
+  return static_cast<unsigned>(std::min(v, 256L));
+}
+
+unsigned configured_threads() {
+  if (const unsigned env = parse_thread_count(std::getenv("IND_THREADS")))
+    return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 256u);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::scoped_lock lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(configured_threads());
+  return *slot;
+}
+
+void set_global_threads(unsigned threads) {
+  const unsigned n = threads == 0 ? configured_threads() : threads;
+  std::scoped_lock lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  slot.reset();  // join old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace ind::runtime

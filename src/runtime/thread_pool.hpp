@@ -1,0 +1,69 @@
+// Fixed-size worker pool over std::jthread with a shared FIFO task queue —
+// the execution substrate for runtime::parallel_for (see parallel_for.hpp).
+//
+// The pool itself makes no ordering promise between tasks. Determinism is
+// the *caller's* contract: parallel algorithms built on top must partition
+// work into chunks whose outputs are either disjoint in memory or combined
+// in a fixed chunk order on the calling thread (parallel_reduce does the
+// latter). Under that discipline every result is bitwise-identical to the
+// serial execution at any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ind::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is clamped to 1). Destruction drains the
+  /// queue: already-submitted tasks run to completion before workers exit.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not block waiting on later-submitted tasks
+  /// (the pool has no work stealing; such a wait can deadlock).
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of *any* ThreadPool's workers.
+  /// parallel_for uses this to run nested parallel regions inline instead of
+  /// re-entering the pool (which could deadlock with all workers waiting).
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest
+};
+
+/// Parse an IND_THREADS-style value. Returns 0 for null/empty/invalid/
+/// non-positive input, meaning "use the hardware default".
+unsigned parse_thread_count(const char* text);
+
+/// Worker count for the process-wide pool: the IND_THREADS environment
+/// variable when set to a positive integer, else hardware_concurrency()
+/// (minimum 1). Capped at 256.
+unsigned configured_threads();
+
+/// Process-wide pool, created on first use with configured_threads() workers.
+ThreadPool& global_pool();
+
+/// Replace the process-wide pool: `threads` workers, or the
+/// configured_threads() default when `threads` is 0. For tests and
+/// benchmarks; must not race with in-flight parallel_for calls.
+void set_global_threads(unsigned threads);
+
+}  // namespace ind::runtime

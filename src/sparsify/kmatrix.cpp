@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "la/lu.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace ind::sparsify {
 
@@ -11,22 +13,54 @@ SparsifiedL kmatrix_sparsify(const la::Matrix& partial_l,
                              double threshold_ratio) {
   if (partial_l.rows() != partial_l.cols())
     throw std::invalid_argument("kmatrix_sparsify: square matrix required");
+  runtime::ScopedTimer timer("sparsify.kmatrix");
   const std::size_t n = partial_l.rows();
-  const la::Matrix k = la::inverse(partial_l);
+
+  // K = L^-1, factored once and solved column-by-column in parallel. Each
+  // column j is the same solve(e_j) the serial la::inverse performs, and
+  // each chunk writes a disjoint set of columns — bitwise-identical to the
+  // serial inversion at any thread count.
+  const la::LU factor(partial_l);
+  la::Matrix k(n, n);
+  runtime::parallel_for(n, [&](std::size_t j_begin, std::size_t j_end) {
+    std::vector<double> unit(n, 0.0);
+    for (std::size_t j = j_begin; j < j_end; ++j) {
+      unit[j] = 1.0;
+      const auto col = factor.solve(unit);
+      unit[j] = 0.0;
+      for (std::size_t i = 0; i < n; ++i) k(i, j) = col[i];
+    }
+  });
 
   SparsifiedL out;
   out.use_kmatrix = true;
   out.diag.resize(n);
   for (std::size_t i = 0; i < n; ++i) out.diag[i] = partial_l(i, i);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.k_entries.push_back({i, i, k(i, i)});
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double kij = 0.5 * (k(i, j) + k(j, i));  // symmetrise round-off
-      if (kij == 0.0) continue;
-      const double bound = threshold_ratio * std::sqrt(k(i, i) * k(j, j));
-      if (std::abs(kij) >= bound) out.k_entries.push_back({i, j, kij});
-    }
-  }
+
+  // Row-parallel thresholding into per-row buckets, concatenated in row
+  // order — the entry list is identical to the serial double loop's.
+  std::vector<std::vector<KEntry>> row_entries(n);
+  runtime::parallel_for(
+      n,
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          auto& row = row_entries[i];
+          row.push_back({i, i, k(i, i)});
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const double kij = 0.5 * (k(i, j) + k(j, i));  // symmetrise
+            if (kij == 0.0) continue;
+            const double bound =
+                threshold_ratio * std::sqrt(k(i, i) * k(j, j));
+            if (std::abs(kij) >= bound) row.push_back({i, j, kij});
+          }
+        }
+      },
+      {.grain = 8});
+  for (auto& row : row_entries)
+    out.k_entries.insert(out.k_entries.end(), row.begin(), row.end());
+
+  runtime::MetricsRegistry::instance().add_count(
+      "sparsify.kmatrix.nnz", static_cast<std::int64_t>(out.k_entries.size()));
   return out;
 }
 
