@@ -1,8 +1,10 @@
 #include "circuit/ac.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "la/lu.hpp"
+#include "robust/recovery.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ind::circuit {
@@ -39,7 +41,32 @@ AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
     }
   }
 
-  AcResult result{la::CLU(std::move(a)).solve(b), std::move(mna)};
+  robust::SolveReport report;
+  la::CLU lu = robust::factor_dense_with_recovery(a, report, "ac");
+  la::CVector x(n, la::Complex{});
+  if (lu.size() > 0) {
+    x = lu.solve(b);
+    if (!robust::all_finite(x)) {
+      report.raise_status(robust::SolveStatus::Failed);
+      report.detail = "ac: non-finite solution";
+      x.assign(n, la::Complex{});
+    } else {
+      // Relative residual ||Ax - b|| / ||b|| of the (possibly regularised)
+      // solve against the ORIGINAL matrix, so gmin fallbacks show their
+      // true perturbation.
+      double rnorm = 0.0, bnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        la::Complex ri = -b[i];
+        for (std::size_t j = 0; j < n; ++j) ri += a(i, j) * x[j];
+        rnorm += std::norm(ri);
+        bnorm += std::norm(b[i]);
+      }
+      report.residual_norm =
+          bnorm > 0.0 ? std::sqrt(rnorm / bnorm) : std::sqrt(rnorm);
+    }
+  }
+  report.record("ac");
+  AcResult result{std::move(x), std::move(mna), std::move(report)};
   return result;
 }
 

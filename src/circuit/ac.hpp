@@ -9,6 +9,7 @@
 #pragma once
 
 #include "circuit/mna.hpp"
+#include "robust/diagnostics.hpp"
 
 namespace ind::circuit {
 
@@ -21,6 +22,11 @@ struct AcExcitation {
 struct AcResult {
   la::CVector x;  ///< full MNA solution (nodes then branches)
   Mna mna;        ///< index map for interpreting x
+
+  /// Robustness diagnostics: condition estimate of G + jwC, relative
+  /// residual of the solve, and any gmin-regularisation fallback taken.
+  /// A Failed status leaves `x` all-zero.
+  robust::SolveReport report;
 
   la::Complex node_voltage(NodeId node) const {
     return node >= 0 ? x[static_cast<std::size_t>(node)] : la::Complex{};

@@ -66,6 +66,7 @@ SpiceImportResult parse_spice(std::istream& is) {
   struct PendingK {
     std::string l1, l2;
     double coeff;
+    std::size_t line_no;
   };
   std::vector<PendingK> pending_k;
 
@@ -95,7 +96,9 @@ SpiceImportResult parse_spice(std::istream& is) {
 
   std::string raw;
   std::string pending_line;
-  auto flush_line = [&](const std::string& line) {
+  std::size_t line_no = 0;          // 1-based line currently being read
+  std::size_t pending_start = 0;    // line where the pending card began
+  auto flush_line = [&](const std::string& line, std::size_t card_line) {
     if (line.empty()) return;
     const char lead = static_cast<char>(std::tolower(line[0]));
     if (lead == '*' || lead == '.') return;  // comment / control card
@@ -122,12 +125,21 @@ SpiceImportResult parse_spice(std::istream& is) {
               node_of(toks[1]), node_of(toks[2]), parse_spice_value(toks[3]));
           ++out.parsed_cards;
           break;
-        case 'k':
+        case 'k': {
           if (toks.size() < 4) throw std::invalid_argument("K card too short");
+          const double coeff = parse_spice_value(toks[3]);
+          // A physical coupling coefficient satisfies |k| <= 1; beyond that
+          // the inductance block goes indefinite (Section 4), so reject the
+          // card at the parse boundary rather than in the solver.
+          if (!(std::abs(coeff) <= 1.0))
+            throw std::invalid_argument(
+                "K card coupling coefficient |k| = " + toks[3] +
+                " exceeds 1");
           pending_k.push_back(
-              {lower(toks[1]), lower(toks[2]), parse_spice_value(toks[3])});
+              {lower(toks[1]), lower(toks[2]), coeff, card_line});
           ++out.parsed_cards;
           break;
+        }
         case 'v':
           if (toks.size() < 3) throw std::invalid_argument("V card too short");
           nl.add_vsource(node_of(toks[1]), node_of(toks[2]),
@@ -145,20 +157,23 @@ SpiceImportResult parse_spice(std::istream& is) {
           break;
       }
     } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument(std::string(e.what()) + " in card: " + line);
+      throw std::invalid_argument(std::string(e.what()) + " in card: " + line +
+                                  " (line " + std::to_string(card_line) + ")");
     }
   };
 
   while (std::getline(is, raw)) {
+    ++line_no;
     // Continuation lines start with '+'.
     if (!raw.empty() && raw[0] == '+') {
       pending_line += ' ' + raw.substr(1);
       continue;
     }
-    flush_line(pending_line);
+    flush_line(pending_line, pending_start);
     pending_line = raw;
+    pending_start = line_no;
   }
-  flush_line(pending_line);
+  flush_line(pending_line, pending_start);
 
   // Resolve K cards now that every inductor is known.
   for (const PendingK& k : pending_k) {
@@ -166,12 +181,14 @@ SpiceImportResult parse_spice(std::istream& is) {
     const auto i2 = inductor_by_name.find(k.l2);
     if (i1 == inductor_by_name.end() || i2 == inductor_by_name.end())
       throw std::invalid_argument("parse_spice: K card references unknown " +
-                                  k.l1 + "/" + k.l2);
+                                  k.l1 + "/" + k.l2 + " (line " +
+                                  std::to_string(k.line_no) + ")");
     const double m =
         k.coeff * std::sqrt(nl.inductors()[i1->second].henries *
                             nl.inductors()[i2->second].henries);
     nl.add_mutual(i1->second, i2->second, m);
   }
+  out.validation = robust::validate(nl);
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "circuit/netlist.hpp"
+#include "robust/validate.hpp"
 
 namespace ind::circuit {
 
@@ -19,11 +20,17 @@ struct SpiceImportResult {
   Netlist netlist;
   std::size_t parsed_cards = 0;
   std::size_t skipped_cards = 0;  ///< unsupported element types
+
+  /// Electrical sanity of the parsed netlist (floating nodes, non-positive
+  /// element values, |k| > 1 couplings, ...). Parsing succeeds even when
+  /// issues are present; callers decide how strict to be.
+  robust::ValidationReport validation;
 };
 
 /// Parses a SPICE deck. Node "0" (and "gnd") map to the reference; other
 /// node names become named netlist nodes. Throws std::invalid_argument on
-/// malformed supported cards.
+/// malformed supported cards; the message carries the 1-based source line
+/// number of the offending card.
 SpiceImportResult parse_spice(std::istream& is);
 SpiceImportResult parse_spice(const std::string& deck);
 

@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
 #include "la/lu.hpp"
 #include "la/sparse_lu.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/recovery.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ind::circuit {
@@ -18,24 +21,30 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-// Either a dense LU or a sparse LU behind one interface.
+// Either a dense LU or a sparse LU behind one interface, factored through
+// the robust fallback ladder (retry -> dense fallback -> gmin escalation).
 class Factor {
  public:
-  void factor_dense(la::Matrix a) {
-    dense_ = std::make_unique<la::LU>(std::move(a));
-    sparse_.reset();
+  void factor_dense(const la::Matrix& a, robust::SolveReport& report) {
+    dense_ = std::make_unique<la::LU>(
+        robust::factor_dense_with_recovery(a, report, "transient"));
+    usable_ = dense_->size() > 0;
+    sparse_ = {};
   }
-  void factor_sparse(const la::CscMatrix& a) {
-    sparse_ = std::make_unique<la::SparseLu>(a);
+  void factor_sparse(const la::CscMatrix& a, robust::SolveReport& report) {
+    sparse_ = robust::factor_sparse_with_recovery(a, report, "transient");
+    usable_ = sparse_.usable();
     dense_.reset();
   }
+  bool usable() const { return usable_; }
   la::Vector solve(const la::Vector& b) const {
-    return dense_ ? dense_->solve(b) : sparse_->solve(b);
+    return dense_ ? dense_->solve(b) : sparse_.solve(b);
   }
 
  private:
   std::unique_ptr<la::LU> dense_;
-  std::unique_ptr<la::SparseLu> sparse_;
+  robust::GuardedSparseFactor sparse_;
+  bool usable_ = false;
 };
 
 double probe_value(const Probe& p, const Mna& mna, const la::Vector& x,
@@ -120,29 +129,59 @@ TransientResult transient(const Netlist& netlist,
   const double h = options.dt;
   const double c_scale = options.backward_euler ? 1.0 / h : 2.0 / h;
 
+  // Builds the companion factor G + scale*C (+ drivers at t) through the
+  // robust fallback ladder; a failed ladder leaves the factor unusable and
+  // the failure recorded in `report`.
+  auto build_factor = [&](double scale, double t, robust::SolveReport& rep) {
+    Factor f;
+    if (dense) {
+      la::Matrix a = g_dense;
+      if (scale != 0.0)
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j)
+            a(i, j) += scale * c_dense(i, j);
+      la::TripletMatrix drv(n, n);
+      mna.stamp_drivers(drv, t);
+      for (const auto& e : drv.entries()) a(e.row, e.col) += e.value;
+      f.factor_dense(a, rep);
+    } else {
+      la::TripletMatrix a = g_static_t;
+      mna.stamp_drivers(a, t);
+      if (scale != 0.0)
+        for (const auto& e : c_t.entries())
+          a.add(e.row, e.col, scale * e.value);
+      f.factor_sparse(la::CscMatrix(a), rep);
+    }
+    return f;
+  };
+  auto finish = [&]() {
+    auto& metrics = runtime::MetricsRegistry::instance();
+    metrics.add_count("solve.transient.steps",
+                      static_cast<std::int64_t>(
+                          result.time.empty() ? 0 : result.time.size() - 1));
+    metrics.add_count("solve.transient.refactors",
+                      static_cast<std::int64_t>(result.refactor_count));
+    metrics.max_count("solve.transient.max_unknowns",
+                      static_cast<std::int64_t>(n));
+    result.report.record("transient");
+    return std::move(result);
+  };
+  auto fail = [&](std::string detail) {
+    result.report.raise_status(robust::SolveStatus::Failed);
+    if (!result.report.detail.empty()) result.report.detail += "; ";
+    result.report.detail += std::move(detail);
+    return finish();
+  };
+
   Factor factor;
   std::vector<double> factored_state;
   auto refactor = [&](double t) {
     const auto t0 = Clock::now();
-    if (dense) {
-      la::Matrix a = g_dense;
-      for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j < n; ++j)
-          a(i, j) += c_scale * c_dense(i, j);
-      la::TripletMatrix drv(n, n);
-      mna.stamp_drivers(drv, t);
-      for (const auto& e : drv.entries()) a(e.row, e.col) += e.value;
-      factor.factor_dense(std::move(a));
-    } else {
-      la::TripletMatrix a = g_static_t;
-      mna.stamp_drivers(a, t);
-      for (const auto& e : c_t.entries())
-        a.add(e.row, e.col, c_scale * e.value);
-      factor.factor_sparse(la::CscMatrix(a));
-    }
+    factor = build_factor(c_scale, t, result.report);
     factored_state = driver_state(netlist, t);
     ++result.refactor_count;
     result.factor_seconds += seconds_since(t0);
+    return factor.usable();
   };
 
   // --- DC operating point at t = 0: G(0) x = b(0).
@@ -151,19 +190,51 @@ TransientResult transient(const Netlist& netlist,
     const auto t0 = Clock::now();
     la::Vector b0;
     mna.rhs(0.0, b0);
-    if (dense) {
-      la::Matrix a = g_dense;
-      la::TripletMatrix drv(n, n);
-      mna.stamp_drivers(drv, 0.0);
-      for (const auto& e : drv.entries()) a(e.row, e.col) += e.value;
-      x = la::LU(std::move(a)).solve(b0);
-    } else {
-      la::TripletMatrix a = g_static_t;
-      mna.stamp_drivers(a, 0.0);
-      x = la::SparseLu(la::CscMatrix(a)).solve(b0);
-    }
+    Factor dc = build_factor(0.0, 0.0, result.report);
+    if (!dc.usable()) return fail("DC operating point factorisation failed");
+    x = dc.solve(b0);
     result.step_seconds += seconds_since(t0);
+    if (!robust::all_finite(x))
+      return fail("DC operating point is non-finite");
   }
+
+  // Re-integrates one step [t_start, t_start + h] as `sub` backward-Euler
+  // substeps (L-stable, so it damps blow-ups trapezoidal can ring on). The
+  // substep companion matrix stamps the drivers at the end of the interval —
+  // the same approximation the outer loop makes between refactorisations.
+  // Returns a non-finite vector when the rung itself fails.
+  auto integrate_substeps = [&](const la::Vector& x_start, double t_start,
+                                int sub) {
+    const double hs = h / sub;
+    robust::SolveReport subrep;
+    Factor f = build_factor(1.0 / hs, t_start + h, subrep);
+    la::Vector xs = x_start;
+    if (!f.usable()) {
+      // Keep the rung's actions/detail, but let the outer ladder decide the
+      // final status: a later rung (different dt, different matrix) may
+      // still succeed.
+      for (const auto& act : subrep.actions)
+        result.report.actions.push_back(act);
+      if (!subrep.detail.empty()) {
+        if (!result.report.detail.empty()) result.report.detail += "; ";
+        result.report.detail += subrep.detail;
+      }
+      xs.assign(n, std::numeric_limits<double>::quiet_NaN());
+      return xs;
+    }
+    result.report.merge(subrep);
+    for (int i = 1; i <= sub; ++i) {
+      la::Vector bs;
+      mna.rhs(t_start + i * hs, bs);
+      la::Vector ys = c_csc.apply(xs);
+      for (std::size_t j = 0; j < n; ++j) ys[j] = ys[j] / hs + bs[j];
+      xs = f.solve(ys);
+      if (robust::fault::fire(robust::fault::Site::TransientStep))
+        xs[0] = std::numeric_limits<double>::quiet_NaN();
+      if (!robust::all_finite(xs)) break;
+    }
+    return xs;
+  };
 
   const std::size_t steps =
       static_cast<std::size_t>(std::ceil(options.t_stop / h));
@@ -177,7 +248,8 @@ TransientResult transient(const Netlist& netlist,
   };
   record(0.0);
 
-  refactor(h);  // matrix for the first step, at t1
+  if (!refactor(h))  // matrix for the first step, at t1
+    return fail("companion matrix factorisation failed");
 
   la::Vector b_prev;
   mna.rhs(0.0, b_prev);
@@ -186,7 +258,11 @@ TransientResult transient(const Netlist& netlist,
     const double t_next = k * h;
 
     // Refactor only if driver conductances moved since the factored state.
-    if (driver_state(netlist, t_next) != factored_state) refactor(t_next);
+    if (driver_state(netlist, t_next) != factored_state) {
+      if (!refactor(t_next))
+        return fail("companion matrix factorisation failed at t = " +
+                    std::to_string(t_next) + " s");
+    }
 
     const auto t0 = Clock::now();
     la::Vector b_next;
@@ -204,19 +280,37 @@ TransientResult transient(const Netlist& netlist,
         y[i] += b_next[i] + b_prev[i] - gx[i];
     }
 
+    const la::Vector x_prev = x;
     x = factor.solve(y);
+    if (robust::fault::fire(robust::fault::Site::TransientStep))
+      x[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!robust::all_finite(x)) {
+      const std::string site = "transient step " + std::to_string(k);
+      // Rung 0: plain re-solve. A transient (injected) fault clears here,
+      // and the re-solved step is bitwise identical to an undisturbed run.
+      result.report.add_action(robust::RecoveryKind::Retry, 0, 0.0, site);
+      x = factor.solve(y);
+      if (robust::fault::fire(robust::fault::Site::TransientStep))
+        x[0] = std::numeric_limits<double>::quiet_NaN();
+      // Rungs 1..max_step_retries: re-integrate the step at halved dt.
+      for (int m = 1;
+           !robust::all_finite(x) && m <= options.max_step_retries; ++m) {
+        const int sub = 1 << m;
+        result.report.add_action(robust::RecoveryKind::DtHalving, m, h / sub,
+                                 site);
+        x = integrate_substeps(x_prev, t_prev, sub);
+      }
+      if (!robust::all_finite(x))
+        return fail("non-finite solution at step " + std::to_string(k) +
+                    " (t = " + std::to_string(t_next) + " s) after " +
+                    std::to_string(options.max_step_retries) +
+                    " dt-halving retries");
+    }
     b_prev = std::move(b_next);
     result.step_seconds += seconds_since(t0);
     record(t_next);
   }
-  auto& metrics = runtime::MetricsRegistry::instance();
-  metrics.add_count("solve.transient.steps",
-                    static_cast<std::int64_t>(steps));
-  metrics.add_count("solve.transient.refactors",
-                    static_cast<std::int64_t>(result.refactor_count));
-  metrics.max_count("solve.transient.max_unknowns",
-                    static_cast<std::int64_t>(n));
-  return result;
+  return finish();
 }
 
 }  // namespace ind::circuit

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "circuit/mna.hpp"
+#include "robust/diagnostics.hpp"
 
 namespace ind::circuit {
 
@@ -36,6 +37,10 @@ struct TransientOptions {
   enum class Solver { Auto, Dense, Sparse } solver = Solver::Auto;
   std::size_t dense_threshold = 900;  ///< Auto: dense at or below this size
   bool backward_euler = false;        ///< default: trapezoidal
+  /// Bounded dt-halving retries when a step produces non-finite state: retry
+  /// m re-integrates the step as 2^m backward-Euler substeps (after one
+  /// plain re-solve, which alone clears transient/injected faults).
+  int max_step_retries = 3;
 };
 
 struct TransientResult {
@@ -49,6 +54,12 @@ struct TransientResult {
   std::size_t refactor_count = 0;
   std::size_t unknowns = 0;
   bool used_dense = false;
+
+  /// Robustness diagnostics: factorisation condition estimate, every
+  /// fallback action taken (gmin regularisation, dense fallback, dt
+  /// halving), and the final status. A Failed status means the integration
+  /// stopped early and `time`/`samples` hold the prefix computed so far.
+  robust::SolveReport report;
 
   /// Waveform lookup by probe name; throws if absent.
   const la::Vector& waveform(const std::string& name) const;

@@ -77,7 +77,9 @@ std::string to_text(const Layout& layout) {
   return os.str();
 }
 
-Layout read_layout(std::istream& is) {
+Layout read_layout(std::istream& is) { return read_layout(is, nullptr); }
+
+Layout read_layout(std::istream& is, robust::ValidationReport* validation) {
   Layout layout(default_tech());
   std::map<std::string, int> nets;
   auto net_id = [&](const std::string& name, int line) {
@@ -110,6 +112,8 @@ Layout read_layout(std::istream& is) {
         double x0, y0, x1, y1, w;
         if (!(line >> net >> layer >> x0 >> y0 >> x1 >> y1 >> w))
           throw std::invalid_argument("wire record too short");
+        if (w <= 0.0)
+          throw std::invalid_argument("wire width must be positive");
         layout.add_wire(net_id(net, line_no), layer, {um(x0), um(y0)},
                         {um(x1), um(y1)}, um(w));
       } else if (tag == "via") {
@@ -171,6 +175,7 @@ Layout read_layout(std::istream& is) {
                                   ": " + e.what());
     }
   }
+  if (validation) *validation = robust::validate(layout);
   return layout;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "geom/layout.hpp"
+#include "robust/validate.hpp"
 
 namespace ind::geom {
 
@@ -29,8 +30,12 @@ void write_layout(std::ostream& os, const Layout& layout);
 std::string to_text(const Layout& layout);
 
 /// Parses the format above. Throws std::invalid_argument with the line
-/// number on malformed records.
+/// number on malformed records (including non-positive wire widths). The
+/// two-argument overload additionally runs the geometric validation pass
+/// (robust::validate) over the parsed layout and fills `validation` with
+/// the structured issues found; parsing itself still succeeds.
 Layout read_layout(std::istream& is);
+Layout read_layout(std::istream& is, robust::ValidationReport* validation);
 Layout layout_from_text(const std::string& text);
 
 }  // namespace ind::geom

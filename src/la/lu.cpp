@@ -1,6 +1,8 @@
 #include "la/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "runtime/metrics.hpp"
@@ -11,6 +13,13 @@ namespace {
 
 double magnitude(double x) { return std::abs(x); }
 double magnitude(const Complex& x) { return std::abs(x); }
+
+// Unit-magnitude direction of x (Hager estimator); 1 for zero entries.
+double sign_of(double x) { return x >= 0.0 ? 1.0 : -1.0; }
+Complex sign_of(const Complex& x) {
+  const double m = std::abs(x);
+  return m == 0.0 ? Complex{1.0, 0.0} : x / m;
+}
 
 }  // namespace
 
@@ -24,6 +33,19 @@ LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
       "factor.lu.max_dim", static_cast<std::int64_t>(n));
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  // Capture ||A||_1 and max|A| before elimination overwrites the entries;
+  // both feed the post-factorisation condition / growth diagnostics.
+  double amax = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double colsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double m = magnitude(lu_(i, j));
+      colsum += m;
+      amax = std::max(amax, m);
+    }
+    norm1_ = std::max(norm1_, colsum);
+  }
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: pick the largest magnitude in column k.
@@ -69,6 +91,12 @@ LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
     else
       update_rows(k + 1, n);
   }
+
+  double umax = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      umax = std::max(umax, magnitude(lu_(i, j)));
+  pivot_growth_ = amax > 0.0 ? umax / amax : 0.0;
 }
 
 template <typename T>
@@ -106,6 +134,65 @@ DenseMatrix<T> LuFactor<T>::solve(const DenseMatrix<T>& b) const {
     }
   });
   return x;
+}
+
+template <typename T>
+std::vector<T> LuFactor<T>::solve_transposed(const std::vector<T>& b) const {
+  const std::size_t n = size();
+  if (b.size() != n)
+    throw std::invalid_argument("LuFactor::solve_transposed: size");
+  // P A = L U  =>  A^T = U^T L^T P; solve U^T z = b (forward, diag of U),
+  // then L^T w = z (backward, unit diag), then x = P^T w.
+  std::vector<T> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc / lu_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = z[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(j, ii) * z[j];
+    z[ii] = acc;
+  }
+  std::vector<T> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+template <typename T>
+double LuFactor<T>::condition_estimate() const {
+  const std::size_t n = size();
+  if (n == 0) return 0.0;
+  // Hager's 1-norm estimator for ||A^-1||_1: maximise ||A^-1 x||_1 over the
+  // unit 1-norm ball by following sign-vector gradients. Deterministic, a
+  // bounded handful of O(n^2) solves.
+  std::vector<T> x(n, T{1.0} / static_cast<double>(n));
+  double est = 0.0;
+  std::size_t last_j = n;  // unit-vector index of the previous iteration
+  for (int iter = 0; iter < 5; ++iter) {
+    const std::vector<T> y = solve(x);
+    double y1 = 0.0;
+    for (const T& v : y) y1 += magnitude(v);
+    if (!std::isfinite(y1)) return std::numeric_limits<double>::infinity();
+    est = std::max(est, y1);
+    std::vector<T> xi(n);
+    for (std::size_t i = 0; i < n; ++i) xi[i] = sign_of(y[i]);
+    const std::vector<T> z = solve_transposed(xi);
+    std::size_t j = 0;
+    double zmax = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double m = magnitude(z[i]);
+      if (m > zmax) {
+        zmax = m;
+        j = i;
+      }
+    }
+    if (j == last_j || zmax <= y1) break;
+    last_j = j;
+    std::fill(x.begin(), x.end(), T{});
+    x[j] = T{1.0};
+  }
+  return norm1_ * est;
 }
 
 template <typename T>

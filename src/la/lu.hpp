@@ -34,13 +34,30 @@ class LuFactor {
   /// Solves A X = B column-by-column.
   DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
 
+  /// Solves A^T x = b (used by the 1-norm condition estimator).
+  std::vector<T> solve_transposed(const std::vector<T>& b) const;
+
   /// Determinant (product of pivots with sign of the permutation).
   T determinant() const;
+
+  // --- robustness diagnostics ----------------------------------------------
+  /// 1-norm of the original (unfactored) matrix.
+  double norm1() const { return norm1_; }
+
+  /// Element-growth ratio max|U| / max|A|: large growth flags a factorisation
+  /// whose backward error is poor even though no pivot was exactly zero.
+  double pivot_growth() const { return pivot_growth_; }
+
+  /// Deterministic 1-norm condition estimate kappa_1(A) ~= ||A||_1 ||A^-1||_1
+  /// via Hager's method (a handful of forward/transposed solves, O(n^2)).
+  double condition_estimate() const;
 
  private:
   DenseMatrix<T> lu_;
   std::vector<std::size_t> perm_;
   int perm_sign_ = 1;
+  double norm1_ = 0.0;
+  double pivot_growth_ = 0.0;
 };
 
 using LU = LuFactor<double>;

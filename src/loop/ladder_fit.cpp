@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "la/lu.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace ind::loop {
 
@@ -30,6 +32,7 @@ LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high) {
   if (dr <= 1e-12 * std::max(low.resistance, 1e-30) || dl <= 0.0) {
     m.r0 = low.resistance;
     m.l0 = low.inductance;
+    m.report.record("ladder_fit");
     return m;
   }
 
@@ -47,15 +50,22 @@ LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high) {
     f2 = l1 * (h(w1) - h(w2)) - dl;
   };
 
+  auto tol_met = [&](double f1, double f2) {
+    return std::abs(f1) < 1e-12 * (std::abs(dr) + 1e-30) &&
+           std::abs(f2) < 1e-12 * (std::abs(dl) + 1e-30);
+  };
+
   const double t0 = 1.0 / std::sqrt(w1 * w2);
   double r1 = std::max(dr * 2.0, 1e-6);
   double l1 = std::max(dl * 2.0, t0 * r1);
+  bool converged = false;
   for (int it = 0; it < 200; ++it) {
     double f1, f2;
     residual(r1, l1, f1, f2);
-    if (std::abs(f1) < 1e-12 * (std::abs(dr) + 1e-30) &&
-        std::abs(f2) < 1e-12 * (std::abs(dl) + 1e-30))
+    if (tol_met(f1, f2)) {
+      converged = true;
       break;
+    }
     // Numerical Jacobian.
     const double hr = std::max(1e-8 * r1, 1e-12);
     const double hl = std::max(1e-8 * l1, 1e-18);
@@ -64,16 +74,69 @@ LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high) {
     residual(r1, l1 + hl, f1l, f2l);
     const double j11 = (f1r - f1) / hr, j12 = (f1l - f1) / hl;
     const double j21 = (f2r - f2) / hr, j22 = (f2l - f2) / hl;
-    const double det = j11 * j22 - j12 * j21;
-    if (det == 0.0 || !std::isfinite(det)) break;
-    double dr1 = (-f1 * j22 + f2 * j12) / det;
-    double dl1 = (-f2 * j11 + f1 * j21) / det;
+    double dj11 = j11, dj22 = j22;
+    double det = j11 * j22 - j12 * j21;
+    if (robust::fault::fire(robust::fault::Site::LadderJacobian)) det = 0.0;
+    if (det == 0.0 || !std::isfinite(det)) {
+      // Levenberg-Marquardt restart: damp the Jacobian diagonal with an
+      // escalating (deterministic) mu until the 2x2 system is solvable.
+      // Previously this was a silent `break` that returned an unconverged
+      // branch as if it had fit.
+      bool rescued = false;
+      const double mu0 =
+          1e-8 * (std::abs(j11) + std::abs(j22)) + 1e-12;
+      for (int k = 0; k < 6 && !rescued; ++k) {
+        const double mu = mu0 * std::pow(10.0, k);
+        dj11 = j11 + mu;
+        dj22 = j22 + mu;
+        det = dj11 * dj22 - j12 * j21;
+        if (det != 0.0 && std::isfinite(det)) {
+          m.report.add_action(robust::RecoveryKind::DampedRestart, k, mu,
+                              "ladder fit iteration " + std::to_string(it));
+          rescued = true;
+        }
+      }
+      if (!rescued) {
+        m.report.raise_status(robust::SolveStatus::NonConverged);
+        m.report.detail =
+            "fit_ladder: singular Jacobian at iteration " +
+            std::to_string(it) + "; damping ladder exhausted";
+        break;
+      }
+    }
+    double dr1 = (-f1 * dj22 + f2 * j12) / det;
+    double dl1 = (-f2 * dj11 + f1 * j21) / det;
     // Damped update staying in the positive quadrant.
     double alpha = 1.0;
     while ((r1 + alpha * dr1 <= 0.0 || l1 + alpha * dl1 <= 0.0) && alpha > 1e-6)
       alpha *= 0.5;
     r1 += alpha * dr1;
     l1 += alpha * dl1;
+  }
+
+  // Unusable branch parameters: fall back to the series RL through the low
+  // point and say so, instead of returning NaN element values.
+  if (!std::isfinite(r1) || !std::isfinite(l1) || r1 <= 0.0 || l1 <= 0.0) {
+    m.report.raise_status(robust::SolveStatus::NonConverged);
+    if (m.report.detail.empty())
+      m.report.detail = "fit_ladder: branch parameters left the feasible "
+                        "region; returning series RL fallback";
+    m.r0 = low.resistance;
+    m.l0 = low.inductance;
+    m.r1 = 0.0;
+    m.l1 = 0.0;
+    m.report.record("ladder_fit");
+    return m;
+  }
+  if (!converged) {
+    double f1, f2;
+    residual(r1, l1, f1, f2);
+    if (!tol_met(f1, f2)) {
+      m.report.raise_status(robust::SolveStatus::NonConverged);
+      if (m.report.detail.empty())
+        m.report.detail =
+            "fit_ladder: Newton did not reach tolerance in 200 iterations";
+    }
   }
 
   m.r1 = r1;
@@ -85,6 +148,7 @@ LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high) {
   const double h1 = 1.0 / (1.0 + w1 * w1 * t * t);
   m.r0 = std::max(low.resistance - r1 * g1, 0.0);
   m.l0 = std::max(low.inductance - l1 * h1, 1e-15);
+  m.report.record("ladder_fit");
   return m;
 }
 
@@ -142,7 +206,10 @@ MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
     b.l = std::max(dl / std::max(nb, 1), b.r / w_c);
     m.branches.push_back(b);
   }
-  if (nb == 0) return m;
+  if (nb == 0) {
+    m.report.record("ladder_fit_multi");
+    return m;
+  }
 
   // --- Levenberg-Marquardt on p = log(params); residuals are the scaled
   // real/imag misfits at every sweep point.
@@ -205,8 +272,15 @@ MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
         a(d, d) += lambda * (jtj(d, d) + 1e-12);
       la::Vector step;
       try {
+        if (robust::fault::fire(robust::fault::Site::LadderJacobian))
+          throw la::SingularMatrixError(
+              "fit_ladder_multi: injected singular normal equations");
         step = la::solve(std::move(a), jtr);
       } catch (const la::SingularMatrixError&) {
+        m.report.add_action(robust::RecoveryKind::DampedRestart, tries,
+                            lambda,
+                            "multi-ladder LM iteration " +
+                                std::to_string(iter));
         lambda *= 10.0;
         continue;
       }
@@ -227,7 +301,15 @@ MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
     }
     if (!stepped || cost < 1e-20) break;
   }
-  return unpack(p);
+
+  MultiLadderModel out = unpack(p);
+  out.report = std::move(m.report);
+  if (!std::isfinite(cost)) {
+    out.report.raise_status(robust::SolveStatus::NonConverged);
+    out.report.detail = "fit_ladder_multi: non-finite cost at termination";
+  }
+  out.report.record("ladder_fit_multi");
+  return out;
 }
 
 }  // namespace ind::loop

@@ -12,6 +12,7 @@
 
 #include "la/dense_matrix.hpp"
 #include "loop/mqs_solver.hpp"
+#include "robust/diagnostics.hpp"
 
 namespace ind::loop {
 
@@ -22,6 +23,11 @@ struct LadderModel {
   double l1 = 0.0;  ///< henries (0 = no parallel branch)
 
   bool has_parallel_branch() const { return r1 > 0.0 && l1 > 0.0; }
+
+  /// Fit diagnostics: NonConverged means the Newton iteration hit its
+  /// iteration cap or an unrescuable singular Jacobian; the model then
+  /// holds the best point reached (or the plain series-RL fallback).
+  robust::SolveReport report;
 
   la::Complex impedance(double omega) const;
   double resistance(double omega) const { return impedance(omega).real(); }
@@ -46,6 +52,10 @@ struct MultiLadderModel {
     double l = 0.0;
   };
   std::vector<Branch> branches;
+
+  /// Fit diagnostics (see LadderModel::report); DampedRestart actions count
+  /// the Levenberg-Marquardt damping escalations that were needed.
+  robust::SolveReport report;
 
   la::Complex impedance(double omega) const;
   double resistance(double omega) const { return impedance(omega).real(); }

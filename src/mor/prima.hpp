@@ -16,6 +16,7 @@
 
 #include "circuit/mna.hpp"
 #include "la/dense_matrix.hpp"
+#include "robust/diagnostics.hpp"
 
 namespace ind::mor {
 
@@ -32,11 +33,17 @@ struct ReducedModel {
   la::Matrix l;  ///< q x m   (reduced output selectors)
   la::Matrix v;  ///< n x q   (projection basis)
 
+  /// Robustness diagnostics: condition estimate of G + s0 C, plus any
+  /// gmin-regularisation or Krylov-deflation fallback the reduction took.
+  robust::SolveReport report;
+
   std::size_t order() const { return g.rows(); }
 };
 
-/// Reduces (G, C, B, L). Throws la::SingularMatrixError if (G + s0 C) is
-/// singular (e.g. floating subcircuits without gmin).
+/// Reduces (G, C, B, L). Non-finite Krylov blocks are re-solved and then
+/// deflated (the offending columns dropped) rather than propagated into the
+/// basis; a singular (G + s0 C) goes through the gmin fallback ladder and
+/// throws la::SingularMatrixError only once every rung is exhausted.
 ReducedModel prima_reduce(const la::Matrix& g, const la::Matrix& c,
                           const la::Matrix& b, const la::Matrix& l,
                           const PrimaOptions& opts = {});

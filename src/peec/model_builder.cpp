@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "robust/validate.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ind::peec {
@@ -39,16 +40,12 @@ circuit::NodeId PeecModel::nearest_node(geom::Point p, NetKind kind) const {
 
 PeecModel build_peec_model(const geom::Layout& input, const PeecOptions& opts) {
   runtime::ScopedTimer timer("assemble.peec");
-  // Reject physically shorted layouts early: cross-net metal overlap on one
-  // layer would otherwise surface as silently merged or floating nodes.
-  if (const auto shorts = geom::find_layout_shorts(input); !shorts.empty()) {
-    const auto& [i, j] = shorts.front();
-    throw std::invalid_argument(
-        "build_peec_model: layout has " + std::to_string(shorts.size()) +
-        " cross-net short(s); first between segments " + std::to_string(i) +
-        " and " + std::to_string(j) + " on layer " +
-        std::to_string(input.segments()[i].layer));
-  }
+  // Input validation front door: degenerate geometry (shorts, zero-width
+  // wires, non-Manhattan segments, broken vias) would otherwise surface as
+  // silently merged nodes or a singular MNA system three layers down.
+  if (const auto validation = robust::validate(input); validation.has_errors())
+    throw std::invalid_argument("build_peec_model: invalid layout\n" +
+                                validation.summary());
   PeecModel m;
   m.vdd_volts = opts.vdd;
   m.layout = refine_layout(input, opts.max_segment_length);

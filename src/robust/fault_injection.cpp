@@ -1,0 +1,200 @@
+#include "robust/fault_injection.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+
+namespace ind::robust::fault {
+namespace {
+
+struct SiteState {
+  std::atomic<std::int64_t> calls{0};
+  std::atomic<std::int64_t> fired{0};
+  bool always = false;
+  std::vector<std::int64_t> targets;  // sorted call indices
+};
+
+struct Config {
+  std::array<SiteState, kSiteCount> sites;
+  std::once_flag env_once;
+  std::mutex mutex;  // guards target rewrites in configure()/clear()
+};
+
+Config& config() {
+  static Config c;
+  return c;
+}
+
+constexpr std::array<const char*, kSiteCount> kSiteNames = {
+    "dense_lu_pivot", "sparse_lu_pivot", "transient_step", "krylov_block",
+    "ladder_jacobian"};
+
+int site_index_from_name(const std::string& name) {
+  for (int i = 0; i < kSiteCount; ++i)
+    if (name == kSiteNames[static_cast<std::size_t>(i)]) return i;
+  return -1;
+}
+
+std::int64_t parse_index(const std::string& text) {
+  std::size_t pos = 0;
+  std::int64_t v = -1;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size() || v < 0)
+    throw std::invalid_argument("IND_FAULT_INJECT: bad call index '" + text +
+                                "'");
+  return v;
+}
+
+/// Parses the full spec into fresh site states. Grammar:
+///   spec    := entry (';' entry)*
+///   entry   := site '@' indices
+///   indices := '*' | index (',' index)*
+///   index   := N | N '-' M
+void apply_spec(const std::string& spec) {
+  Config& c = config();
+  std::scoped_lock lock(c.mutex);
+  for (SiteState& s : c.sites) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    s.always = false;
+    s.targets.clear();
+  }
+  std::size_t begin = 0;
+  bool any = false;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace.
+    const auto first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    entry = entry.substr(first, entry.find_last_not_of(" \t") - first + 1);
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos)
+      throw std::invalid_argument("IND_FAULT_INJECT: entry '" + entry +
+                                  "' missing '@'");
+    const int site = site_index_from_name(entry.substr(0, at));
+    if (site < 0)
+      throw std::invalid_argument("IND_FAULT_INJECT: unknown site '" +
+                                  entry.substr(0, at) + "'");
+    SiteState& state = c.sites[static_cast<std::size_t>(site)];
+    std::string indices = entry.substr(at + 1);
+    if (indices == "*") {
+      state.always = true;
+    } else {
+      std::size_t ib = 0;
+      while (ib <= indices.size()) {
+        std::size_t ie = indices.find(',', ib);
+        if (ie == std::string::npos) ie = indices.size();
+        const std::string tok = indices.substr(ib, ie - ib);
+        ib = ie + 1;
+        if (tok.empty()) continue;
+        const std::size_t dash = tok.find('-');
+        if (dash == std::string::npos) {
+          state.targets.push_back(parse_index(tok));
+        } else {
+          const std::int64_t lo = parse_index(tok.substr(0, dash));
+          const std::int64_t hi = parse_index(tok.substr(dash + 1));
+          if (hi < lo)
+            throw std::invalid_argument("IND_FAULT_INJECT: bad range '" + tok +
+                                        "'");
+          for (std::int64_t k = lo; k <= hi; ++k) state.targets.push_back(k);
+        }
+      }
+      std::sort(state.targets.begin(), state.targets.end());
+    }
+    any = true;
+  }
+  detail::g_active.store(any, std::memory_order_relaxed);
+}
+
+void load_env_spec() {
+  const char* env = std::getenv("IND_FAULT_INJECT");
+  if (env == nullptr || *env == '\0') {
+    detail::g_active.store(false, std::memory_order_relaxed);
+    return;
+  }
+  apply_spec(env);
+}
+
+}  // namespace
+
+namespace detail {
+
+// Armed at static init purely on the presence of the variable; the spec is
+// parsed on the first fire() so a malformed value fails loudly at the first
+// guarded operation, not during static initialisation.
+std::atomic<bool> g_active{[] {
+  const char* env = std::getenv("IND_FAULT_INJECT");
+  return env != nullptr && *env != '\0';
+}()};
+
+bool fire_slow(Site site) {
+  Config& c = config();
+  std::call_once(c.env_once, load_env_spec);
+  if (!g_active.load(std::memory_order_relaxed)) return false;
+  SiteState& s = c.sites[static_cast<std::size_t>(site)];
+  const std::int64_t idx = s.calls.fetch_add(1, std::memory_order_relaxed);
+  const bool hit =
+      s.always ||
+      std::binary_search(s.targets.begin(), s.targets.end(), idx);
+  if (hit) {
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    runtime::MetricsRegistry::instance().add_count("robust.fault.injected", 1);
+  }
+  return hit;
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  Config& c = config();
+  // Make sure the env spec never overwrites a programmatic one later.
+  std::call_once(c.env_once, [] {});
+  if (spec.empty()) {
+    clear();
+    return;
+  }
+  apply_spec(spec);
+}
+
+void clear() {
+  Config& c = config();
+  std::call_once(c.env_once, [] {});
+  detail::g_active.store(false, std::memory_order_relaxed);
+  std::scoped_lock lock(c.mutex);
+  for (SiteState& s : c.sites) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    s.always = false;
+    s.targets.clear();
+  }
+}
+
+std::int64_t fired(Site site) {
+  return config()
+      .sites[static_cast<std::size_t>(site)]
+      .fired.load(std::memory_order_relaxed);
+}
+
+std::int64_t calls(Site site) {
+  return config()
+      .sites[static_cast<std::size_t>(site)]
+      .calls.load(std::memory_order_relaxed);
+}
+
+const char* site_name(Site site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+}  // namespace ind::robust::fault

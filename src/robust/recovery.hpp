@@ -1,0 +1,65 @@
+// Solver fallback ladder: guarded factorisations with bounded, deterministic
+// recovery from singular / near-singular systems.
+//
+// Ladder rungs (fixed escalation schedule, no RNG):
+//   dense (real or complex):
+//     0. factor as-is
+//     1. plain retry            — clears injected faults bitwise-identically
+//     2+ diagonal gmin regularisation at kGminLevels[k], refactor
+//   sparse:
+//     0. factor as-is
+//     1. plain retry
+//     2. dense-LU fallback      — partial pivoting over the full matrix
+//        (skipped above dense_fallback_limit unknowns)
+//     3+ diagonal gmin regularisation at kGminLevels[k], sparse refactor
+//
+// Each rung taken is recorded as a RecoveryAction in the SolveReport; an
+// exhausted ladder yields status Failed and an empty factor instead of a
+// thrown SingularMatrixError, so callers degrade gracefully.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "la/lu.hpp"
+#include "la/sparse.hpp"
+#include "la/sparse_lu.hpp"
+#include "robust/diagnostics.hpp"
+
+namespace ind::robust {
+
+/// Deterministic gmin escalation schedule (siemens added to every diagonal).
+inline constexpr std::array<double, 3> kGminLevels = {1e-9, 1e-6, 1e-3};
+
+/// Factors a dense real / complex system through the fallback ladder.
+/// On failure the returned factor is empty (size() == 0) and
+/// report.failed() is true; diagnostics (condition estimate, pivot growth)
+/// are filled from the successful factorisation otherwise.
+la::LU factor_dense_with_recovery(const la::Matrix& a, SolveReport& report,
+                                  std::string_view where);
+la::CLU factor_dense_with_recovery(const la::CMatrix& a, SolveReport& report,
+                                   std::string_view where);
+
+/// Outcome of a guarded sparse factorisation: exactly one of `sparse` /
+/// `dense` is set on success (dense when the fallback rung rescued the
+/// factorisation), neither on failure.
+struct GuardedSparseFactor {
+  std::unique_ptr<la::SparseLu> sparse;
+  std::unique_ptr<la::LU> dense;
+
+  bool usable() const { return sparse != nullptr || dense != nullptr; }
+  la::Vector solve(const la::Vector& b) const {
+    return sparse ? sparse->solve(b) : dense->solve(b);
+  }
+};
+
+GuardedSparseFactor factor_sparse_with_recovery(
+    const la::CscMatrix& a, SolveReport& report, std::string_view where,
+    std::size_t dense_fallback_limit = 2048);
+
+/// True when every entry is finite (no NaN / inf).
+bool all_finite(const la::Vector& v);
+bool all_finite(const la::CVector& v);
+
+}  // namespace ind::robust

@@ -1,0 +1,83 @@
+// Input validation front door.
+//
+// Degenerate inputs (floating nodes, non-positive element values, over-unity
+// mutual coupling, zero-width or overlapping wires) are the usual origin of
+// the singular MNA systems the fallback ladder then has to rescue; these
+// passes catch them at the boundary — spice_import, layout_io, and the PEEC
+// model builder all run them — and return structured issues with source
+// locations instead of letting the solver discover the problem as a
+// singular pivot three layers down.
+//
+// The implementations compile into the owning layer (validate_netlist.cpp
+// into ind_circuit, validate_layout.cpp into ind_geom); this header only
+// forward-declares the validated types so it stays dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ind::circuit {
+class Netlist;
+}
+namespace ind::geom {
+class Layout;
+}
+
+namespace ind::robust {
+
+enum class Severity { Warning, Error };
+
+struct ValidationIssue {
+  Severity severity = Severity::Error;
+  /// Stable machine-readable code, e.g. "floating-node", "k-over-unity",
+  /// "zero-width-wire", "layout-short".
+  std::string code;
+  /// Human-readable description naming the offending elements.
+  std::string message;
+  /// Source location: "node 3", "inductors 2 and 5", "segment 7", ...
+  std::string location;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const ValidationIssue& i : issues)
+      if (i.severity == Severity::Error) ++n;
+    return n;
+  }
+  std::size_t warning_count() const {
+    return issues.size() - error_count();
+  }
+  bool has_errors() const { return error_count() > 0; }
+
+  void add(Severity severity, std::string code, std::string message,
+           std::string location) {
+    issues.push_back(
+        {severity, std::move(code), std::move(message), std::move(location)});
+  }
+
+  /// One line per issue: "error [code] message (location)".
+  std::string summary() const {
+    std::string out;
+    for (const ValidationIssue& i : issues) {
+      if (!out.empty()) out += '\n';
+      out += i.severity == Severity::Error ? "error" : "warning";
+      out += " [" + i.code + "] " + i.message;
+      if (!i.location.empty()) out += " (" + i.location + ")";
+    }
+    return out;
+  }
+};
+
+/// Electrical sanity of a netlist: floating / capacitor-only nodes,
+/// non-positive R/L/C values, mutual coupling |k| > 1.
+ValidationReport validate(const circuit::Netlist& netlist);
+
+/// Geometric sanity of a layout: zero-width or zero-length wires,
+/// degenerate vias, cross-net same-layer metal overlap (shorts).
+ValidationReport validate(const geom::Layout& layout);
+
+}  // namespace ind::robust

@@ -1,0 +1,63 @@
+#include <cstdio>
+#include <string>
+
+#include "geom/layout.hpp"
+#include "robust/validate.hpp"
+
+namespace ind::robust {
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string seg_location(std::size_t index, const geom::Segment& s) {
+  return "segment " + std::to_string(index) + " on layer " +
+         std::to_string(s.layer);
+}
+
+}  // namespace
+
+ValidationReport validate(const geom::Layout& layout) {
+  ValidationReport report;
+
+  const auto& segs = layout.segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const geom::Segment& s = segs[i];
+    if (s.width <= 0.0)
+      report.add(Severity::Error, "zero-width-wire",
+                 "wire has non-positive width " + num(s.width) + " m",
+                 seg_location(i, s));
+    if (s.length() <= 0.0)
+      report.add(Severity::Error, "zero-length-wire",
+                 "wire start and end coincide", seg_location(i, s));
+    if (s.a.x != s.b.x && s.a.y != s.b.y)
+      report.add(Severity::Error, "non-manhattan-wire",
+                 "wire is not axis-aligned", seg_location(i, s));
+  }
+
+  for (std::size_t v = 0; v < layout.vias().size(); ++v) {
+    const geom::Via& via = layout.vias()[v];
+    if (via.lower_layer >= via.upper_layer)
+      report.add(Severity::Error, "degenerate-via",
+                 "via layers are not ordered (lower " +
+                     std::to_string(via.lower_layer) + ", upper " +
+                     std::to_string(via.upper_layer) + ")",
+                 "via " + std::to_string(v));
+  }
+
+  // Cross-net metal overlap on one layer: electrically meaningless input
+  // that would otherwise surface as silently merged or floating nodes.
+  for (const auto& [i, j] : geom::find_layout_shorts(layout)) {
+    report.add(Severity::Error, "layout-short",
+               "cross-net metal overlap between segments " +
+                   std::to_string(i) + " and " + std::to_string(j),
+               "layer " + std::to_string(segs[i].layer));
+  }
+
+  return report;
+}
+
+}  // namespace ind::robust
