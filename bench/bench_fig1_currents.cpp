@@ -8,10 +8,10 @@
 // the on-chip decoupling capacitance.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "circuit/transient.hpp"
-#include "geom/topologies.hpp"
-#include "peec/model_builder.hpp"
 #include "runtime/bench_report.hpp"
+#include "store/flows.hpp"
 
 using namespace ind;
 using geom::um;
@@ -22,14 +22,7 @@ int main() {
   std::printf("======================================================\n\n");
 
   geom::Layout layout(geom::default_tech());
-  geom::DriverReceiverGridSpec spec;
-  spec.grid.extent_x = um(500);
-  spec.grid.extent_y = um(500);
-  spec.grid.pitch = um(125);
-  spec.signal_length = um(400);
-  spec.driver_res = 15.0;
-  spec.sink_cap = 60e-15;
-  geom::add_driver_receiver_grid(layout, spec);
+  bench::add_grid_line(layout, {.driver_res = 15.0, .sink_cap = 60e-15});
   // The driver switches at 200ps so the pre-switching quiescent state and
   // the event are both visible.
   layout.drivers()[0].start_time = 200e-12;
@@ -37,7 +30,7 @@ int main() {
   peec::PeecOptions opts;
   opts.max_segment_length = um(125);
   opts.decap.sites = 16;
-  const peec::PeecModel m = peec::build_peec_model(layout, opts);
+  const peec::PeecModel m = store::cached_peec_model(layout, opts);
 
   // Probes: driver rail currents, the signal-segment current at the driver
   // end, and a pad inductor current (package return path). Pad inductors are

@@ -7,8 +7,8 @@
 // capacitance diverges from the conductor-only LOOP view at high frequency.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/frequency_analysis.hpp"
-#include "geom/topologies.hpp"
 #include "loop/ladder_fit.hpp"
 #include "loop/port_extractor.hpp"
 #include "runtime/bench_report.hpp"
@@ -30,17 +30,7 @@ int main() {
     layout.add_wire(gnd, 6, {0, i * um(8)}, {um(1000), i * um(8)}, um(2));
     layout.add_wire(gnd, 6, {0, -i * um(8)}, {um(1000), -i * um(8)}, um(2));
   }
-  geom::Driver d;
-  d.at = {0, 0};
-  d.layer = 6;
-  d.signal_net = sig;
-  layout.add_driver(d);
-  geom::Receiver r;
-  r.at = {um(1000), 0};
-  r.layer = 6;
-  r.signal_net = sig;
-  r.name = "rcv";
-  layout.add_receiver(r);
+  bench::add_line_endpoints(layout, sig, um(1000));
 
   loop::LoopExtractionOptions opts;
   opts.max_segment_length = um(250);

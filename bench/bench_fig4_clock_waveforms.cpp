@@ -8,9 +8,9 @@
 // capacitance on the return-current distribution.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -22,22 +22,15 @@ int main() {
   std::printf("================================================\n\n");
 
   geom::Layout layout(geom::default_tech());
-  geom::PowerGridSpec grid;
-  grid.extent_x = um(600);
-  grid.extent_y = um(600);
-  grid.pitch = um(150);
-  grid.horizontal_layer = 3;  // keep layers 5/6 exclusive to the clock
-  grid.vertical_layer = 4;
-  geom::add_power_grid(layout, grid);
-  geom::ClockTreeSpec clock;
-  clock.levels = 2;
-  clock.center = {um(300), um(300)};
-  clock.span = um(440);
-  clock.trunk_width = um(6);
-  clock.driver_res = 6.0;
-  clock.slew = 30e-12;
-  clock.sink_cap_variation = 0.6;  // sector buffers of different sizes
-  const int clk = geom::add_clock_htree(layout, clock);
+  bench::ClockGridSpec spec;
+  spec.grid_extent_um = 600;
+  spec.grid_pitch_um = 150;
+  spec.levels = 2;
+  spec.span_um = 440;
+  spec.trunk_width_um = 6;
+  spec.driver_res = 6.0;
+  spec.slew = 30e-12;
+  const int clk = bench::add_clock_over_grid(layout, spec);
 
   core::AnalysisOptions opts;
   opts.signal_net = clk;

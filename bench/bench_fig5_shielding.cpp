@@ -4,8 +4,8 @@
 // helping capacitance.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "design/metrics.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -26,17 +26,7 @@ geom::Layout shielded_line(double edge_spacing_um, bool with_shields) {
     l.add_wire(gnd, 6, {0, s}, {um(1000), s}, um(2));
     l.add_wire(gnd, 6, {0, -s}, {um(1000), -s}, um(2));
   }
-  geom::Driver d;
-  d.at = {0, 0};
-  d.layer = 6;
-  d.signal_net = sig;
-  l.add_driver(d);
-  geom::Receiver r;
-  r.at = {um(1000), 0};
-  r.layer = 6;
-  r.signal_net = sig;
-  r.name = "rcv";
-  l.add_receiver(r);
+  bench::add_line_endpoints(l, sig, um(1000));
   return l;
 }
 

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "geom/topologies.hpp"
+#include "bench_common.hpp"
 #include "loop/port_extractor.hpp"
 #include "runtime/bench_report.hpp"
 
@@ -66,17 +66,7 @@ geom::Layout make(ReturnStyle style) {
     l.add_wire(gnd, 6, {x1, tie_levels[k]}, {x1, tie_levels[k + 1]}, um(4));
   }
 
-  geom::Driver d;
-  d.at = {0, 0};
-  d.layer = 6;
-  d.signal_net = sig;
-  l.add_driver(d);
-  geom::Receiver r;
-  r.at = {um(1000), 0};
-  r.layer = 6;
-  r.signal_net = sig;
-  r.name = "rcv";
-  l.add_receiver(r);
+  bench::add_line_endpoints(l, sig, um(1000));
   return l;
 }
 

@@ -4,9 +4,8 @@
 // increases the amount of metallization used."
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "design/metrics.hpp"
-#include "extract/extractor.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -30,17 +29,7 @@ int main() {
     const auto res = geom::add_interdigitated(l, spec);
     // A far return strap so the single-wire case has a loop at all.
     l.add_wire(res.ground_net, 6, {0, um(60)}, {um(1000), um(60)}, um(6));
-    geom::Driver d;
-    d.at = {0, 0};
-    d.layer = 6;
-    d.signal_net = res.signal_net;
-    l.add_driver(d);
-    geom::Receiver r;
-    r.at = {um(1000), 0};
-    r.layer = 6;
-    r.signal_net = res.signal_net;
-    r.name = "rcv";
-    l.add_receiver(r);
+    bench::add_line_endpoints(l, res.signal_net, um(1000));
 
     loop::LoopExtractionOptions lopts;
     lopts.max_segment_length = um(250);
@@ -48,10 +37,12 @@ int main() {
         design::loop_inductance_at(l, res.signal_net, 2e9, lopts);
     if (fingers == 1) l0 = loop_l;
 
-    // DC resistance and total ground capacitance of the signal net.
-    const geom::Layout fine = geom::refine(l, um(1000));
-    const auto x = extract::extract(
-        fine, {.mutual_window = 0.0, .extract_inductance = false});
+    // DC resistance and total ground capacitance of the signal net (through
+    // the artifact cache, so warm runs skip the re-extraction).
+    const auto ref = bench::extract_refined(
+        l, 1000, {.mutual_window = 0.0, .extract_inductance = false});
+    const geom::Layout& fine = ref.layout;
+    const auto& x = ref.extraction;
     double r_net = 0.0, c_net = 0.0;
     // Fingers are in parallel: sum conductance of the along-X segments.
     double g_par = 0.0;

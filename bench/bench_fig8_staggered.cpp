@@ -11,8 +11,8 @@
 // victim from the two halves cancels.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "design/metrics.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -81,12 +81,9 @@ double victim_noise_for(const Config& cfg) {
   r1.name = "agg1_rcv";
   l.add_receiver(r1);
 
-  peec::PeecOptions popts;
-  popts.max_segment_length = um(200);
-  circuit::TransientOptions topts;
-  topts.t_stop = 1.0e-9;
-  topts.dt = 2e-12;
-  return design::victim_noise(l, {sec0, sec1}, victim, popts, topts)
+  return design::victim_noise(l, {sec0, sec1}, victim,
+                              bench::noise_peec_options(),
+                              bench::noise_transient_options())
       .peak_volts;
 }
 

@@ -6,8 +6,8 @@
 // bundle.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "design/metrics.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -49,13 +49,10 @@ int main() {
   auto run_noise = [&](geom::Layout& l, const geom::BusResult& bus) {
     for (geom::Driver& d : l.drivers())
       if (d.signal_net == bus.signal_nets[3]) d.rising = false;  // a- falls
-    peec::PeecOptions popts;
-    popts.max_segment_length = um(200);
-    circuit::TransientOptions topts;
-    topts.t_stop = 1.0e-9;
-    topts.dt = 2e-12;
     return design::victim_noise(l, {bus.signal_nets[2], bus.signal_nets[3]},
-                                bus.signal_nets[0], popts, topts)
+                                bus.signal_nets[0],
+                                bench::noise_peec_options(),
+                                bench::noise_transient_options())
         .peak_volts;
   };
   const double v_par = run_noise(parallel, pr);

@@ -3,9 +3,9 @@
 // dense/sparse factorisation, transient stepping.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "circuit/transient.hpp"
 #include "extract/partial_inductance.hpp"
-#include "geom/topologies.hpp"
 #include "la/lu.hpp"
 #include "la/sparse_lu.hpp"
 #include "peec/model_builder.hpp"
@@ -99,11 +99,9 @@ BENCHMARK(BM_SparseLuGridFactor)->Range(8, 64);
 
 void BM_PeecModelBuild(benchmark::State& state) {
   geom::Layout layout(geom::default_tech());
-  geom::DriverReceiverGridSpec spec;
-  spec.grid.extent_x = um(400);
-  spec.grid.extent_y = um(400);
-  spec.grid.pitch = um(100);
-  geom::add_driver_receiver_grid(layout, spec);
+  // Deliberately NOT cached: this micro-benchmark measures the build cost.
+  bench::add_grid_line(
+      layout, {.extent_um = 400, .pitch_um = 100, .signal_length_um = 800});
   peec::PeecOptions opts;
   opts.max_segment_length = um(100);
   for (auto _ : state)

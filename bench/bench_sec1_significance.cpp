@@ -6,9 +6,9 @@
 // and the Elmore estimate.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "design/significance.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -41,20 +41,10 @@ Sweep make(double length_um) {
       s.layout.add_pad(pad);
     }
   }
-  geom::Driver d;
-  d.at = {0, 0};
-  d.layer = 6;
-  d.signal_net = sig;
-  d.strength_ohm = 25.0;
-  d.slew = 30e-12;
-  s.layout.add_driver(d);
-  geom::Receiver r;
-  r.at = {len, 0};
-  r.layer = 6;
-  r.signal_net = sig;
-  r.load_cap = 20e-15;
-  r.name = "rcv";
-  s.layout.add_receiver(r);
+  bench::add_line_endpoints(s.layout, sig, len,
+                            {.driver_strength_ohm = 25.0,
+                             .driver_slew = 30e-12,
+                             .load_cap = 20e-15});
   return s;
 }
 

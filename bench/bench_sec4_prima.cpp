@@ -4,9 +4,9 @@
 // and compares against the flat PEEC simulation.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -18,19 +18,9 @@ int main() {
   std::printf("================================================================\n\n");
 
   geom::Layout layout(geom::default_tech());
-  geom::DriverReceiverGridSpec spec;
-  spec.grid.extent_x = um(500);
-  spec.grid.extent_y = um(500);
-  spec.grid.pitch = um(125);
-  spec.signal_length = um(400);
-  spec.signal_width = um(3);
-  const auto placed = geom::add_driver_receiver_grid(layout, spec);
+  const auto placed = bench::add_grid_line(layout, {.signal_width_um = 3});
 
-  core::AnalysisOptions opts;
-  opts.signal_net = placed.signal_net;
-  opts.peec.max_segment_length = um(125);
-  opts.transient.t_stop = 1.2e-9;
-  opts.transient.dt = 2e-12;
+  core::AnalysisOptions opts = bench::grid_line_analysis(placed.signal_net);
 
   opts.flow = core::Flow::PeecRlcFull;
   const auto full = core::analyze(layout, opts);

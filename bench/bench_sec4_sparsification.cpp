@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
-#include "geom/topologies.hpp"
 #include "sparsify/block_diagonal.hpp"
 #include "sparsify/halo.hpp"
 #include "sparsify/kmatrix.hpp"
@@ -41,10 +41,11 @@ int main() {
   layout.add_wire(vdd, 6, {0, um(8 + 12 * 2.2)}, {um(900), um(8 + 12 * 2.2)},
                   um(4));
 
-  // --- matrix-level comparison on the extracted partial-inductance matrix.
-  const geom::Layout refined = geom::refine(layout, um(150));
-  const auto x = extract::extract(refined, {});
-  const auto& segs = refined.segments();
+  // --- matrix-level comparison on the extracted partial-inductance matrix
+  // (through the artifact cache, so warm runs skip the re-extraction).
+  const auto refined = bench::extract_refined(layout, 150);
+  const auto& x = refined.extraction;
+  const auto& segs = refined.layout.segments();
   std::printf("matrix: %zu segments, %zu mutual pairs\n\n", segs.size(),
               x.num_mutual_terms());
 
@@ -82,19 +83,9 @@ int main() {
   // --- circuit-level comparison: delay error and run-time per flow.
   std::printf("\ncircuit-level flows on a clock line over a grid:\n\n");
   geom::Layout wl(geom::default_tech());
-  geom::DriverReceiverGridSpec spec;
-  spec.grid.extent_x = um(500);
-  spec.grid.extent_y = um(500);
-  spec.grid.pitch = um(125);
-  spec.signal_length = um(400);
-  spec.signal_width = um(3);
-  const auto placed = geom::add_driver_receiver_grid(wl, spec);
+  const auto placed = bench::add_grid_line(wl, {.signal_width_um = 3});
 
-  core::AnalysisOptions opts;
-  opts.signal_net = placed.signal_net;
-  opts.peec.max_segment_length = um(125);
-  opts.transient.t_stop = 1.2e-9;
-  opts.transient.dt = 2e-12;
+  core::AnalysisOptions opts = bench::grid_line_analysis(placed.signal_net);
   opts.params.block_strip_width = um(125);
   opts.params.shell_radius = um(60);
 

@@ -9,9 +9,9 @@
 //   run-time: LOOP < RC < RLC
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
-#include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -23,21 +23,10 @@ int main() {
   std::printf("========================================\n\n");
 
   geom::Layout layout(geom::default_tech());
-  geom::PowerGridSpec grid;
-  grid.extent_x = um(800);
-  grid.extent_y = um(800);
-  grid.pitch = um(160);
-  grid.pads_per_side = 2;
-  grid.horizontal_layer = 3;  // keep layers 5/6 exclusive to the clock
-  grid.vertical_layer = 4;
-  geom::add_power_grid(layout, grid);
-  geom::ClockTreeSpec clock;
-  clock.levels = 3;  // 64 sector buffers
-  clock.center = {um(400), um(400)};
-  clock.span = um(600);
-  clock.driver_res = 5.0;
-  clock.sink_cap_variation = 0.6;  // sector buffers of different sizes
-  const int clk = geom::add_clock_htree(layout, clock);
+  bench::ClockGridSpec spec;
+  spec.pads_per_side = 2;
+  spec.levels = 3;  // 64 sector buffers
+  const int clk = bench::add_clock_over_grid(layout, spec);
 
   core::AnalysisOptions opts;
   opts.signal_net = clk;

@@ -13,6 +13,7 @@
 #include "geom/topologies.hpp"
 #include "loop/loop_model.hpp"
 #include "peec/model_builder.hpp"
+#include "store/flows.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
   // 2. The detailed PEEC model as a SPICE deck.
   peec::PeecOptions popts;
   popts.max_segment_length = um(100);
-  const peec::PeecModel model = peec::build_peec_model(layout, popts);
+  const peec::PeecModel model = store::cached_peec_model(layout, popts);
   const std::string peec_path = dir + "/peec_model.sp";
   {
     std::ofstream os(peec_path);

@@ -9,6 +9,7 @@
 #include "circuit/waveform.hpp"
 #include "geom/topologies.hpp"
 #include "peec/model_builder.hpp"
+#include "store/flows.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -38,7 +39,7 @@ double supply_droop(double pad_l_scale, double decap_pf, bool background,
   opts.background.sources = 8;
   opts.background.peak_current = 10e-3;
   opts.substrate.enable = substrate;
-  const peec::PeecModel m = peec::build_peec_model(layout, opts);
+  const peec::PeecModel m = store::cached_peec_model(layout, opts);
 
   // Probe the driver's local VDD node.
   const auto& drv = m.netlist.drivers().front();

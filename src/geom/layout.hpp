@@ -65,6 +65,13 @@ class Layout {
 
   void add_via(int net, Point at, int lower_layer, int upper_layer,
                int cuts = 1);
+  /// Appends a fully specified segment verbatim (no technology lookup).
+  /// Used by the artifact store to restore a serialized layout exactly;
+  /// normal construction should go through add_wire.
+  std::size_t add_segment(Segment s) {
+    segments_.push_back(s);
+    return segments_.size() - 1;
+  }
   void add_pad(Pad pad) { pads_.push_back(pad); }
   void add_driver(Driver d) { drivers_.push_back(std::move(d)); }
   void add_receiver(Receiver r) { receivers_.push_back(std::move(r)); }

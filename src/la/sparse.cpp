@@ -11,6 +11,22 @@ Matrix TripletMatrix::to_dense() const {
   return m;
 }
 
+CscMatrix::CscMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> col_ptr,
+                     std::vector<std::size_t> row_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  if (col_ptr_.size() != cols_ + 1 || row_idx_.size() != values_.size() ||
+      (cols_ > 0 && col_ptr_.back() != values_.size()))
+    throw std::invalid_argument("CscMatrix: inconsistent compressed arrays");
+  for (std::size_t r : row_idx_)
+    if (r >= rows_) throw std::invalid_argument("CscMatrix: row out of range");
+}
+
 CscMatrix::CscMatrix(const TripletMatrix& t) : rows_(t.rows()), cols_(t.cols()) {
   // Count entries per column.
   std::vector<std::size_t> count(cols_ + 1, 0);

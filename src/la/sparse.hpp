@@ -53,6 +53,11 @@ class CscMatrix {
  public:
   CscMatrix() = default;
   explicit CscMatrix(const TripletMatrix& t);
+  /// Direct construction from compressed arrays (already summed/sorted) —
+  /// the artifact store restores serialized matrices through this.
+  CscMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> col_ptr, std::vector<std::size_t> row_idx,
+            std::vector<double> values);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }

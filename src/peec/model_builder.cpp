@@ -8,6 +8,7 @@
 
 #include "robust/validate.hpp"
 #include "runtime/metrics.hpp"
+#include "store/serde.hpp"
 
 namespace ind::peec {
 namespace {
@@ -54,7 +55,10 @@ PeecModel build_peec_model(const geom::Layout& input, const PeecOptions& opts) {
   xopts.mutual_window = opts.mutual_window;
   xopts.coupling_window = opts.coupling_window;
   xopts.extract_inductance = !opts.rc_only;
-  m.extraction = extract::extract(m.layout, xopts);
+  // Content-addressed cache over the most expensive stage (no-op unless
+  // IND_CACHE_DIR is set): a warm run restores the partial-L / coupling /
+  // R arrays bit-for-bit instead of re-assembling them.
+  m.extraction = store::cached_extraction(m.layout, xopts);
 
   const auto& segs = m.layout.segments();
   circuit::Netlist& nl = m.netlist;

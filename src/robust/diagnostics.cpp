@@ -27,6 +27,7 @@ const char* to_string(RecoveryKind kind) {
     case RecoveryKind::DtHalving: return "dt_halve";
     case RecoveryKind::KrylovDeflation: return "krylov_deflate";
     case RecoveryKind::DampedRestart: return "damped_restart";
+    case RecoveryKind::ArtifactRecompute: return "artifact_recompute";
   }
   return "unknown";
 }

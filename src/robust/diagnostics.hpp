@@ -37,6 +37,7 @@ enum class RecoveryKind {
   DtHalving,            ///< re-integrated a transient step at reduced dt
   KrylovDeflation,      ///< dropped a non-finite Krylov block column
   DampedRestart,        ///< Levenberg-Marquardt damping of a Newton step
+  ArtifactRecompute,    ///< corrupt cached artifact discarded; recomputed
 };
 
 const char* to_string(SolveStatus status);

@@ -32,8 +32,9 @@ enum class Site {
   TransientStep,   ///< a transient step solve produces non-finite state
   KrylovBlock,     ///< a PRIMA Krylov block column comes back non-finite
   LadderJacobian,  ///< the ladder-fit Newton Jacobian appears singular
+  StoreRead,       ///< a cached artifact read is treated as corrupt
 };
-inline constexpr int kSiteCount = 5;
+inline constexpr int kSiteCount = 6;
 
 namespace detail {
 extern std::atomic<bool> g_active;

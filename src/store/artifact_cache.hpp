@@ -1,0 +1,73 @@
+// On-disk content-addressed artifact cache.
+//
+// Off by default: the cache activates only when IND_CACHE_DIR names a
+// directory (created on demand), so tier-1 behaviour is unchanged unless a
+// user opts in. Artifacts are keyed purely by content fingerprint — nothing
+// thread- or time-dependent enters the key — so any process, at any
+// IND_THREADS setting, addressing the same layout + options reads the same
+// bytes and reproduces bitwise-identical results.
+//
+//   file name     <kind>-<32-hex-fingerprint>.art
+//   writes        temp file + atomic rename (write_artifact)
+//   size cap      IND_CACHE_MAX_BYTES (default 1 GiB); least-recently-used
+//                 artifacts (by mtime, refreshed on hit) are evicted after
+//                 each store
+//   corruption    any StoreError on read is counted (store.corrupt.<code>),
+//                 the bad file is removed, and the caller recomputes; the
+//                 fallback is surfaced through robust::SolveReport as an
+//                 ArtifactRecompute recovery action, never a crash
+//   fault site    IND_FAULT_INJECT=store_read@N forces the corruption path
+//
+// Metrics: store.hits / store.misses / store.corrupt[.*] / store.evictions /
+// store.evicted_bytes counters and store.{serialize,deserialize,read,write}
+// timers, all published into BENCH_*.json via the MetricsRegistry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "robust/diagnostics.hpp"
+#include "store/format.hpp"
+
+namespace ind::store {
+
+class ArtifactCache {
+ public:
+  /// Process-wide cache configured from the environment on first use.
+  static ArtifactCache& instance();
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Cache lookup. Returns the artifact on a hit; std::nullopt on a miss.
+  /// A corrupt or unreadable file is treated as a miss: the file is deleted,
+  /// store.corrupt.* is counted, and when `report` is non-null the fallback
+  /// is logged there as an ArtifactRecompute recovery action.
+  std::optional<Artifact> load(const std::string& kind, const Digest& fp,
+                               robust::SolveReport* report = nullptr);
+
+  /// Stores the artifact under its kind + fingerprint (atomic write-rename),
+  /// then enforces the LRU size cap. I/O failures are counted
+  /// (store.save_failures) and swallowed — a broken cache directory must
+  /// never take the computation down.
+  void save(const Artifact& a);
+
+  /// Path an artifact would live at (exposed for tests and tooling).
+  std::string path_for(const std::string& kind, const Digest& fp) const;
+
+  /// Test hooks: reconfigure at runtime. An empty dir disables the cache.
+  void configure(std::string dir, std::uint64_t max_bytes = kDefaultMaxBytes);
+
+  static constexpr std::uint64_t kDefaultMaxBytes = 1ULL << 30;  // 1 GiB
+
+ private:
+  ArtifactCache();
+  void evict_to_cap(const std::string& keep_path);
+
+  std::string dir_;
+  std::uint64_t max_bytes_ = kDefaultMaxBytes;
+};
+
+}  // namespace ind::store

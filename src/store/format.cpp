@@ -1,0 +1,182 @@
+#include "store/format.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "runtime/metrics.hpp"
+
+namespace ind::store {
+namespace {
+
+std::uint64_t fnv64(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t k = 0; k < n; ++k) h = (h ^ p[k]) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(StoreErrc code) {
+  switch (code) {
+    case StoreErrc::IoError: return "io_error";
+    case StoreErrc::BadMagic: return "bad_magic";
+    case StoreErrc::VersionMismatch: return "version_mismatch";
+    case StoreErrc::EndianMismatch: return "endian_mismatch";
+    case StoreErrc::Truncated: return "truncated";
+    case StoreErrc::ChecksumMismatch: return "checksum_mismatch";
+    case StoreErrc::FingerprintMismatch: return "fingerprint_mismatch";
+    case StoreErrc::Malformed: return "malformed";
+  }
+  return "unknown";
+}
+
+const std::vector<std::uint8_t>& Artifact::section(
+    const std::string& name) const {
+  for (const Section& s : sections)
+    if (s.name == name) return s.bytes;
+  throw StoreError(StoreErrc::Malformed, "missing section '" + name + "'");
+}
+
+std::size_t Artifact::total_bytes() const {
+  std::size_t n = 0;
+  for (const Section& s : sections) n += s.bytes.size();
+  return n;
+}
+
+std::vector<std::uint8_t> encode_artifact(const Artifact& a) {
+  ByteWriter w;
+  for (unsigned char m : kMagic) w.u8(m);
+  w.u32(kFormatVersion);
+  w.u8(std::endian::native == std::endian::little ? kLittleEndianTag : 0x02);
+  w.u8(0);  // reserved
+  if (a.kind.size() > 0xffff)
+    throw StoreError(StoreErrc::Malformed, "kind string too long");
+  w.u16(static_cast<std::uint16_t>(a.kind.size()));
+  for (char c : a.kind) w.u8(static_cast<std::uint8_t>(c));
+  w.u64(a.fingerprint.hi);
+  w.u64(a.fingerprint.lo);
+  w.u32(static_cast<std::uint32_t>(a.sections.size()));
+  for (const Artifact::Section& s : a.sections) {
+    if (s.name.size() > 0xffff)
+      throw StoreError(StoreErrc::Malformed, "section name too long");
+    w.u16(static_cast<std::uint16_t>(s.name.size()));
+    for (char c : s.name) w.u8(static_cast<std::uint8_t>(c));
+    w.u64(s.bytes.size());
+    w.u64(fnv64(s.bytes.data(), s.bytes.size()));
+    w.raw(s.bytes.data(), s.bytes.size());
+  }
+  return w.take();
+}
+
+Artifact decode_artifact(const std::vector<std::uint8_t>& image,
+                         const Digest* expect) {
+  // The header is parsed with a dedicated reader so its Truncated errors are
+  // re-labelled: a file shorter than the fixed header is indistinguishable
+  // from random bytes, which callers should see as BadMagic.
+  if (image.size() < sizeof kMagic)
+    throw StoreError(StoreErrc::BadMagic, "file shorter than magic");
+  if (std::memcmp(image.data(), kMagic, sizeof kMagic) != 0)
+    throw StoreError(StoreErrc::BadMagic, "magic bytes do not match");
+
+  ByteReader r(image.data() + sizeof kMagic, image.size() - sizeof kMagic);
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion)
+    throw StoreError(StoreErrc::VersionMismatch,
+                     "artifact version " + std::to_string(version) +
+                         ", reader expects " + std::to_string(kFormatVersion));
+  const std::uint8_t endian = r.u8();
+  const std::uint8_t native =
+      std::endian::native == std::endian::little ? kLittleEndianTag : 0x02;
+  if (endian != native)
+    throw StoreError(StoreErrc::EndianMismatch,
+                     "artifact written on a foreign-endian machine");
+  r.u8();  // reserved
+
+  Artifact a;
+  const std::uint16_t kind_len = r.u16();
+  a.kind.resize(kind_len);
+  for (std::uint16_t k = 0; k < kind_len; ++k)
+    a.kind[k] = static_cast<char>(r.u8());
+  a.fingerprint.hi = r.u64();
+  a.fingerprint.lo = r.u64();
+  if (expect != nullptr && !(a.fingerprint == *expect))
+    throw StoreError(StoreErrc::FingerprintMismatch,
+                     "expected " + expect->hex() + ", file holds " +
+                         a.fingerprint.hex());
+
+  const std::uint32_t n_sections = r.u32();
+  for (std::uint32_t s = 0; s < n_sections; ++s) {
+    Artifact::Section sec;
+    const std::uint16_t name_len = r.u16();
+    sec.name.resize(name_len);
+    for (std::uint16_t k = 0; k < name_len; ++k)
+      sec.name[k] = static_cast<char>(r.u8());
+    const std::uint64_t size = r.u64();
+    const std::uint64_t checksum = r.u64();
+    if (size > r.remaining())
+      throw StoreError(StoreErrc::Truncated,
+                       "section '" + sec.name + "' payload cut short");
+    sec.bytes.resize(size);
+    r.raw(sec.bytes.data(), size);
+    if (fnv64(sec.bytes.data(), sec.bytes.size()) != checksum)
+      throw StoreError(StoreErrc::ChecksumMismatch,
+                       "section '" + sec.name + "' failed its checksum");
+    a.sections.push_back(std::move(sec));
+  }
+  return a;
+}
+
+void write_artifact(const std::string& path, const Artifact& a) {
+  std::vector<std::uint8_t> image;
+  {
+    runtime::ScopedTimer t("store.serialize");
+    image = encode_artifact(a);
+  }
+  runtime::ScopedTimer t("store.write");
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw StoreError(StoreErrc::IoError, "cannot open '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw StoreError(StoreErrc::IoError, "short write to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw StoreError(StoreErrc::IoError, "rename to '" + path + "' failed");
+  }
+  runtime::MetricsRegistry::instance().add_count(
+      "store.write_bytes", static_cast<std::int64_t>(image.size()));
+}
+
+Artifact read_artifact(const std::string& path, const Digest* expect) {
+  runtime::ScopedTimer t("store.read");
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in)
+    throw StoreError(StoreErrc::IoError, "cannot open '" + path + "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(image.data()), size);
+  if (!in)
+    throw StoreError(StoreErrc::IoError, "short read from '" + path + "'");
+  runtime::MetricsRegistry::instance().add_count(
+      "store.read_bytes", static_cast<std::int64_t>(image.size()));
+  return decode_artifact(image, expect);
+}
+
+}  // namespace ind::store

@@ -1,0 +1,21 @@
+#include "store/hash.hpp"
+
+#include <cstdio>
+
+namespace ind::store {
+
+std::string Digest::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Digest hash_bytes(const void* data, std::size_t n) {
+  Hasher h;
+  h.bytes(data, n);
+  return h.digest();
+}
+
+}  // namespace ind::store
