@@ -8,16 +8,17 @@
 #include "runtime/metrics.hpp"
 
 namespace ind::circuit {
+namespace {
 
-AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
-                  double omega, double driver_time) {
+// One frequency point over pre-assembled stamps. Splitting the stamping
+// from the per-omega solve lets ac_sweep share a single Mna + G/C pattern
+// across the whole sweep instead of re-deriving them every point.
+AcResult solve_stamped(const Mna& mna, const la::TripletMatrix& g,
+                       const la::TripletMatrix& c,
+                       const AcExcitation& excitation, double omega) {
   runtime::ScopedTimer timer("solve.ac");
-  Mna mna(netlist);
+  const Netlist& netlist = mna.netlist();
   const std::size_t n = mna.size();
-
-  la::TripletMatrix g, c;
-  mna.stamp_static(g, c);
-  mna.stamp_drivers(g, driver_time);
 
   la::CMatrix a(n, n);
   for (const auto& e : g.entries()) a(e.row, e.col) += e.value;
@@ -66,8 +67,34 @@ AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
     }
   }
   report.record("ac");
-  AcResult result{std::move(x), std::move(mna), std::move(report)};
+  AcResult result{std::move(x), mna, std::move(report)};
   return result;
+}
+
+}  // namespace
+
+AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
+                  double omega, double driver_time) {
+  Mna mna(netlist);
+  la::TripletMatrix g, c;
+  mna.stamp_static(g, c);
+  mna.stamp_drivers(g, driver_time);
+  return solve_stamped(mna, g, c, excitation, omega);
+}
+
+std::vector<AcResult> ac_sweep(const Netlist& netlist,
+                               const AcExcitation& excitation,
+                               const std::vector<double>& omegas,
+                               double driver_time) {
+  Mna mna(netlist);
+  la::TripletMatrix g, c;
+  mna.stamp_static(g, c);
+  mna.stamp_drivers(g, driver_time);
+  std::vector<AcResult> sweep;
+  sweep.reserve(omegas.size());
+  for (const double omega : omegas)
+    sweep.push_back(solve_stamped(mna, g, c, excitation, omega));
+  return sweep;
 }
 
 }  // namespace ind::circuit

@@ -8,6 +8,8 @@
 // complex path.
 #pragma once
 
+#include <vector>
+
 #include "circuit/mna.hpp"
 #include "robust/diagnostics.hpp"
 
@@ -44,5 +46,15 @@ struct AcResult {
 /// settled).
 AcResult ac_solve(const Netlist& netlist, const AcExcitation& excitation,
                   double omega, double driver_time = 1e12);
+
+/// Frequency sweep sharing one assembled pattern: the MNA index maps and
+/// the G / C stamps are built once, so every point costs one complex
+/// assembly + factorisation (only jw changes between points) instead of a
+/// full netlist re-stamp. Results are identical to calling ac_solve per
+/// omega.
+std::vector<AcResult> ac_sweep(const Netlist& netlist,
+                               const AcExcitation& excitation,
+                               const std::vector<double>& omegas,
+                               double driver_time = 1e12);
 
 }  // namespace ind::circuit

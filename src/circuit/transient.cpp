@@ -36,6 +36,17 @@ class Factor {
     usable_ = sparse_.usable();
     dense_.reset();
   }
+  /// In-place sparse refactorisation: reuses the previous factor's symbolic
+  /// state (ordering, reach, pivot sequence) when the pattern is unchanged,
+  /// which is exactly the driver-transition case.
+  void refactor_sparse(const la::CscMatrix& a, robust::SolveReport& report) {
+    if (dense_) {
+      factor_sparse(a, report);
+      return;
+    }
+    robust::refactor_sparse_with_recovery(sparse_, a, report, "transient");
+    usable_ = sparse_.usable();
+  }
   bool usable() const { return usable_; }
   la::Vector solve(const la::Vector& b) const {
     return dense_ ? dense_->solve(b) : sparse_.solve(b);
@@ -108,10 +119,19 @@ TransientResult transient(const Netlist& netlist,
   const la::CscMatrix g_static(g_static_t);
   const la::CscMatrix c_csc(c_t);
 
+  // Auto solver selection: dense for small systems and for dense-coupled
+  // ones (the fully coupled PEEC L-block stamps O(n^2) mutual terms, where
+  // sparse elimination would just rediscover a dense factor); sparse for
+  // everything grid-shaped, where the AMD-ordered sparse LU with symbolic
+  // reuse wins by orders of magnitude.
+  const double density =
+      n == 0 ? 1.0
+             : static_cast<double>(g_static.nnz() + c_csc.nnz()) /
+                   (static_cast<double>(n) * static_cast<double>(n));
   const bool dense =
       options.solver == TransientOptions::Solver::Dense ||
       (options.solver == TransientOptions::Solver::Auto &&
-       n <= options.dense_threshold);
+       (n <= options.dense_threshold || density > options.auto_density));
   // Dense copies are only materialised on the dense path.
   la::Matrix g_dense, c_dense;
   if (dense) {
@@ -177,7 +197,19 @@ TransientResult transient(const Netlist& netlist,
   std::vector<double> factored_state;
   auto refactor = [&](double t) {
     const auto t0 = Clock::now();
-    factor = build_factor(c_scale, t, result.report);
+    if (dense) {
+      factor = build_factor(c_scale, t, result.report);
+    } else {
+      // Re-stamping produces the same triplet sequence every time, so the
+      // compressed pattern is identical across driver transitions and the
+      // persistent factor's numeric-only refactor path applies.
+      la::TripletMatrix a = g_static_t;
+      mna.stamp_drivers(a, t);
+      if (c_scale != 0.0)
+        for (const auto& e : c_t.entries())
+          a.add(e.row, e.col, c_scale * e.value);
+      factor.refactor_sparse(la::CscMatrix(a), result.report);
+    }
     factored_state = driver_state(netlist, t);
     ++result.refactor_count;
     result.factor_seconds += seconds_since(t0);

@@ -4,9 +4,11 @@
 // The companion matrix A = G + (2/h)C is factorised once and reused across
 // steps; the switched drivers are the only time-varying conductances, so the
 // engine refactorises only while a driver is mid-transition. Matrices factor
-// dense (LU) or sparse (Gilbert-Peierls) depending on problem size — the
-// dense path matches the fully coupled PEEC L-block, the sparse path the
-// grid-sized RC / sparsified models of Table 1.
+// dense (LU) or sparse (AMD-ordered Gilbert-Peierls) depending on size and
+// coupling density — the dense path matches the fully coupled PEEC L-block,
+// the sparse path the grid-sized RC / sparsified models of Table 1. Sparse
+// driver-transition refactorisations share one SparseLuSymbolic (the pattern
+// never changes), so only the numeric phase reruns per transition.
 #pragma once
 
 #include <string>
@@ -35,7 +37,14 @@ struct TransientOptions {
   double t_stop = 1e-9;
   double dt = 1e-12;
   enum class Solver { Auto, Dense, Sparse } solver = Solver::Auto;
-  std::size_t dense_threshold = 900;  ///< Auto: dense at or below this size
+  /// Auto: dense at or below this size. Above it the AMD-ordered sparse LU
+  /// with symbolic reuse is faster for anything grid-shaped, so the
+  /// threshold only needs to cover genuinely small systems.
+  std::size_t dense_threshold = 128;
+  /// Auto: dense when nnz(G) + nnz(C) exceeds this fraction of n^2 — the
+  /// fully coupled PEEC L-block case, where sparse elimination would just
+  /// rediscover a (slower) dense factor.
+  double auto_density = 0.20;
   bool backward_euler = false;        ///< default: trapezoidal
   /// Bounded dt-halving retries when a step produces non-finite state: retry
   /// m re-integrates the step as 2^m backward-Euler substeps (after one

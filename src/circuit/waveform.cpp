@@ -12,6 +12,12 @@ std::optional<double> crossing_time(const la::Vector& time,
                                     bool rising) {
   if (time.size() != v.size())
     throw std::invalid_argument("crossing_time: size mismatch");
+  if (v.empty()) return std::nullopt;
+  // Already at (or beyond) the level at the first sample: the scan below
+  // starts at i = 1 with a strict previous-sample inequality, which would
+  // miss a waveform starting exactly at `level` — including an
+  // exact-level plateau [level, level, ...] that never satisfies it.
+  if (rising ? v[0] >= level : v[0] <= level) return time[0];
   for (std::size_t i = 1; i < v.size(); ++i) {
     const bool crossed = rising ? (v[i - 1] < level && v[i] >= level)
                                 : (v[i - 1] > level && v[i] <= level);
@@ -32,12 +38,14 @@ double overshoot_fraction(const la::Vector& v, double v_initial,
                           double v_final) {
   const double swing = std::abs(v_final - v_initial);
   if (swing == 0.0 || v.empty()) return 0.0;
+  // Worst excursion outside the [v_initial, v_final] band, either side:
+  // a rising edge that rings back *below* its starting level (the
+  // undershoot the paper's Figure 4 waveforms exhibit) is just as much an
+  // excursion as the overshoot past the settled value.
+  const double lo = std::min(v_initial, v_final);
+  const double hi = std::max(v_initial, v_final);
   double worst = 0.0;
-  for (double x : v) {
-    const double beyond =
-        v_final > v_initial ? x - v_final : v_final - x;
-    worst = std::max(worst, beyond);
-  }
+  for (double x : v) worst = std::max({worst, x - hi, lo - x});
   return worst / swing;
 }
 
@@ -60,15 +68,29 @@ SkewReport measure_skew(const la::Vector& time,
   report.best_delay = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < sink_waveforms.size(); ++i) {
     const auto d = delay_50(time, sink_waveforms[i], v_initial, v_final);
-    const double delay = d.value_or(std::numeric_limits<double>::infinity());
-    if (delay > report.worst_delay) {
-      report.worst_delay = delay;
+    if (!d.has_value()) {
+      // A sink that never reaches 50% is reported explicitly instead of as
+      // an infinite delay — a delay of inf used to poison the skew into
+      // inf - inf = NaN when no sink crossed at all.
+      report.non_crossing_sinks.push_back(sink_names[i]);
+      continue;
+    }
+    if (*d > report.worst_delay) {
+      report.worst_delay = *d;
       report.worst_sink = sink_names[i];
     }
-    if (delay < report.best_delay) {
-      report.best_delay = delay;
+    if (*d < report.best_delay) {
+      report.best_delay = *d;
       report.best_sink = sink_names[i];
     }
+  }
+  if (report.non_crossing_sinks.size() == sink_waveforms.size()) {
+    // No sink crossed: delays are unbounded but the skew stays well-defined
+    // (inf, not inf - inf = NaN).
+    report.worst_delay = std::numeric_limits<double>::infinity();
+    report.best_delay = std::numeric_limits<double>::infinity();
+    report.skew = std::numeric_limits<double>::infinity();
+    return report;
   }
   report.skew = report.worst_delay - report.best_delay;
   return report;

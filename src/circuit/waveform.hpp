@@ -10,8 +10,11 @@
 
 namespace ind::circuit {
 
-/// First time the waveform crosses `level` in the given direction
+/// First time the waveform reaches `level` in the given direction
 /// (linear interpolation between samples); nullopt if it never does.
+/// A waveform already at-or-beyond the level at its first sample (>= for
+/// rising, <= for falling) reports time[0] — this covers waveforms that
+/// start exactly at the level, including exact-level plateaus.
 std::optional<double> crossing_time(const la::Vector& time,
                                     const la::Vector& v, double level,
                                     bool rising = true);
@@ -21,8 +24,10 @@ std::optional<double> crossing_time(const la::Vector& time,
 std::optional<double> delay_50(const la::Vector& time, const la::Vector& v,
                                double v_initial, double v_final);
 
-/// Peak overshoot above the settled value, as a fraction of the swing
-/// (0 when the waveform never exceeds v_final).
+/// Worst excursion outside the [v_initial, v_final] band, as a fraction of
+/// the swing (0 when the waveform stays inside the band). Captures both
+/// overshoot past the settled value and undershoot back past the starting
+/// value on a ringing edge.
 double overshoot_fraction(const la::Vector& v, double v_initial,
                           double v_final);
 
@@ -33,14 +38,21 @@ double peak_noise(const la::Vector& v, double nominal);
 struct SkewReport {
   double worst_delay = 0.0;
   double best_delay = 0.0;
-  double skew = 0.0;  ///< worst - best
+  double skew = 0.0;  ///< worst - best, over the sinks that crossed
   std::string worst_sink;
   std::string best_sink;
+  /// Sinks whose waveform never reached 50% of the swing. They are
+  /// excluded from the delay/skew statistics rather than folded in as
+  /// infinite delays (which used to turn the skew into inf - inf = NaN
+  /// when no sink crossed).
+  std::vector<std::string> non_crossing_sinks;
 };
 
 /// Delay/skew across a set of sink waveforms (all assumed to share the
-/// same time axis and initial/final levels). Sinks that never cross 50%
-/// are reported with infinite delay.
+/// same time axis and initial/final levels). Delay/skew statistics cover
+/// the sinks that crossed 50%; non-crossing sinks are listed in
+/// `non_crossing_sinks`. If no sink crosses at all, delays and skew are
+/// +inf (never NaN) and the worst/best sink names are empty.
 SkewReport measure_skew(const la::Vector& time,
                         const std::vector<la::Vector>& sink_waveforms,
                         const std::vector<std::string>& sink_names,

@@ -50,15 +50,21 @@ std::vector<loop::LoopImpedance> peec_port_impedance(
   const std::size_t src =
       model.netlist.add_isource(gnd_local, out, circuit::Pwl::constant(0.0));
 
+  // One ac_sweep call: the MNA maps and G/C stamps are shared across the
+  // whole sweep instead of being rebuilt per frequency point.
+  std::vector<double> omegas;
+  omegas.reserve(frequencies.size());
+  for (const double f : frequencies) omegas.push_back(2.0 * M_PI * f);
+  const std::vector<circuit::AcResult> points = circuit::ac_sweep(
+      model.netlist, {circuit::AcExcitation::Kind::ISource, src}, omegas);
+
   std::vector<loop::LoopImpedance> sweep;
   sweep.reserve(frequencies.size());
-  for (const double f : frequencies) {
-    const double omega = 2.0 * M_PI * f;
-    const circuit::AcResult res = circuit::ac_solve(
-        model.netlist, {circuit::AcExcitation::Kind::ISource, src}, omega);
+  for (std::size_t k = 0; k < frequencies.size(); ++k) {
+    const circuit::AcResult& res = points[k];
     const la::Complex z =
         res.node_voltage(out) - res.node_voltage(gnd_local);
-    sweep.push_back({f, z.real(), z.imag() / omega});
+    sweep.push_back({frequencies[k], z.real(), z.imag() / omegas[k]});
   }
   return sweep;
 }

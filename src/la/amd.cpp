@@ -1,0 +1,123 @@
+#include "la/amd.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace ind::la {
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<std::size_t> amd_order(const CscMatrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("amd_order: matrix must be square");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  // Symmetric adjacency of A + Aᵀ, no self-loops, sorted and deduplicated.
+  std::vector<std::vector<std::size_t>> var_adj(n);
+  {
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_idx();
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t p = cp[j]; p < cp[j + 1]; ++p) {
+        const std::size_t i = ri[p];
+        if (i == j) continue;
+        var_adj[i].push_back(j);
+        var_adj[j].push_back(i);
+      }
+    }
+    for (auto& nb : var_adj) {
+      std::sort(nb.begin(), nb.end());
+      nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    }
+  }
+
+  // Quotient graph: an eliminated pivot p becomes element p whose variable
+  // list elem_vars[p] is the clique its elimination would fill in. Variables
+  // track plain-edge neighbours (var_adj, shrinking as edges get covered by
+  // elements) plus adjacent elements (var_elem).
+  std::vector<std::vector<std::size_t>> elem_vars(n);
+  std::vector<std::vector<std::size_t>> var_elem(n);
+  std::vector<char> alive(n, 1);
+  std::vector<char> absorbed(n, 0);
+  std::vector<std::size_t> degree(n), mark(n, kNone);
+
+  // (degree, node) priority set: deterministic min-degree with
+  // smallest-index tie-break.
+  std::set<std::pair<std::size_t, std::size_t>> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    degree[i] = var_adj[i].size();
+    queue.emplace(degree[i], i);
+  }
+
+  std::vector<std::size_t> lp;  // variables of the new element
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto [d, p] = *queue.begin();
+    queue.erase(queue.begin());
+    (void)d;
+
+    // L_p = (adjacent variables ∪ variables of adjacent elements) \ {p}.
+    lp.clear();
+    mark[p] = k;
+    for (const std::size_t v : var_adj[p]) {
+      if (!alive[v] || mark[v] == k) continue;
+      mark[v] = k;
+      lp.push_back(v);
+    }
+    for (const std::size_t e : var_elem[p]) {
+      for (const std::size_t v : elem_vars[e]) {
+        if (!alive[v] || mark[v] == k) continue;
+        mark[v] = k;
+        lp.push_back(v);
+      }
+    }
+    std::sort(lp.begin(), lp.end());
+
+    // Old elements reachable from p are absorbed into the new element p.
+    for (const std::size_t e : var_elem[p]) {
+      absorbed[e] = 1;
+      elem_vars[e].clear();
+      elem_vars[e].shrink_to_fit();
+    }
+    var_elem[p].clear();
+    elem_vars[p] = lp;
+
+    for (const std::size_t i : lp) {
+      // Edges into L_p ∪ {p} are now covered by element p; dead variables
+      // are dropped on the same pass.
+      auto& nb = var_adj[i];
+      nb.erase(std::remove_if(nb.begin(), nb.end(),
+                              [&](std::size_t v) {
+                                return !alive[v] || v == p || mark[v] == k;
+                              }),
+               nb.end());
+      auto& el = var_elem[i];
+      el.erase(std::remove_if(el.begin(), el.end(),
+                              [&](std::size_t e) { return absorbed[e] != 0; }),
+               el.end());
+      el.push_back(p);
+
+      // Approximate external degree: plain edges plus element sizes (shared
+      // members may be double-counted — the "approximate" in AMD).
+      std::size_t d2 = nb.size();
+      for (const std::size_t e : el) d2 += elem_vars[e].size() - 1;
+      queue.erase({degree[i], i});
+      degree[i] = d2;
+      queue.emplace(d2, i);
+    }
+
+    alive[p] = 0;
+    var_adj[p].clear();
+    var_adj[p].shrink_to_fit();
+    order.push_back(p);
+  }
+  return order;
+}
+
+}  // namespace ind::la

@@ -4,114 +4,236 @@
 #include <limits>
 #include <string>
 
+#include "la/amd.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ind::la {
 namespace {
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+// Threshold for diagonal-preference pivoting: the diagonal entry is taken
+// whenever it is within this factor of the column's max magnitude (the
+// usual MNA pivtol). Keeps the pivot sequence stable across value-only
+// refactorisations of diagonally dominant circuit matrices, where a strict
+// max-magnitude rule flips between near-equal off-diagonals and forces
+// needless full refactorisations.
+constexpr double kDiagPreference = 1e-3;
 }
 
-SparseLu::SparseLu(const CscMatrix& a) : n_(a.rows()) {
+SparseLuSymbolic::SparseLuSymbolic(const CscMatrix& a) : n_(a.rows()) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("SparseLuSymbolic: matrix must be square");
+  runtime::ScopedTimer timer("factor.sparse_lu.symbolic");
+  order_ = amd_order(a);
+  col_ptr_ = a.col_ptr();
+  row_idx_ = a.row_idx();
+}
+
+bool SparseLuSymbolic::matches_pattern(const CscMatrix& a) const {
+  return analysed() && a.rows() == n_ && a.cols() == n_ &&
+         a.col_ptr() == col_ptr_ && a.row_idx() == row_idx_;
+}
+
+SparseLu::SparseLu(const CscMatrix& a) : SparseLu(a, SparseLuSymbolic(a)) {}
+
+SparseLu::SparseLu(const CscMatrix& a, SparseLuSymbolic symbolic)
+    : symbolic_(std::move(symbolic)), n_(a.rows()) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("SparseLu: matrix must be square");
+  if (!symbolic_.matches_pattern(a)) symbolic_ = SparseLuSymbolic(a);
+  if (symbolic_.factored()) {
+    runtime::ScopedTimer timer("factor.sparse_lu.numeric");
+    if (factor_impl<true>(a)) {
+      runtime::MetricsRegistry::instance().add_count(
+          "factor.sparse_lu.refactors", 1);
+      return;
+    }
+    runtime::MetricsRegistry::instance().add_count(
+        "factor.sparse_lu.pivot_drift", 1);
+  }
   runtime::ScopedTimer timer("factor.sparse_lu");
   runtime::MetricsRegistry::instance().max_count(
       "factor.sparse_lu.max_nnz", static_cast<std::int64_t>(a.nnz()));
-  lower_.resize(n_);
-  upper_.resize(n_);
-  diag_.assign(n_, 0.0);
-  perm_.assign(n_, kNone);
+  factor_impl<false>(a);
+  runtime::MetricsRegistry::instance().max_count(
+      "factor.sparse_lu.fill_nnz", static_cast<std::int64_t>(fill_nnz()));
+}
 
-  std::vector<std::size_t> pinv(n_, kNone);  // original row -> pivot step
-  std::vector<double> x(n_, 0.0);
-  std::vector<std::size_t> mark(n_, kNone);  // last column that visited row
-  std::vector<std::size_t> node_stack, child_pos, pattern;
-  node_stack.reserve(n_);
-  child_pos.reserve(n_);
-  pattern.reserve(64);
+void SparseLu::refactor(const CscMatrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("SparseLu::refactor: matrix must be square");
+  n_ = a.rows();
+  if (symbolic_.factored() && symbolic_.matches_pattern(a)) {
+    runtime::ScopedTimer timer("factor.sparse_lu.numeric");
+    if (factor_impl<true>(a)) {
+      runtime::MetricsRegistry::instance().add_count(
+          "factor.sparse_lu.refactors", 1);
+      return;
+    }
+    runtime::MetricsRegistry::instance().add_count(
+        "factor.sparse_lu.pivot_drift", 1);
+  }
+  if (!symbolic_.matches_pattern(a)) symbolic_ = SparseLuSymbolic(a);
+  runtime::ScopedTimer timer("factor.sparse_lu");
+  runtime::MetricsRegistry::instance().max_count(
+      "factor.sparse_lu.max_nnz", static_cast<std::int64_t>(a.nnz()));
+  factor_impl<false>(a);
+  runtime::MetricsRegistry::instance().max_count(
+      "factor.sparse_lu.fill_nnz", static_cast<std::int64_t>(fill_nnz()));
+}
 
+template <bool kReuse>
+bool SparseLu::factor_impl(const CscMatrix& a) {
   const auto& cp = a.col_ptr();
   const auto& ri = a.row_idx();
   const auto& av = a.values();
+  const auto& order = symbolic_.order_;
+  auto& perm = symbolic_.perm_;
+  auto& reach_ptr = symbolic_.reach_ptr_;
+  auto& reach = symbolic_.reach_;
+
+  lower_.resize(n_);
+  upper_.resize(n_);
+  diag_.assign(n_, 0.0);
+  x_.assign(n_, 0.0);
+  pinv_.assign(n_, kNone);  // original row -> pivot step
+
+  std::vector<std::size_t> node_stack, child_pos, pattern;
+  if constexpr (!kReuse) {
+    // A partially recorded schedule (thrown singularity) must never be
+    // mistaken for a valid one: invalidate up front, rebuild, and only the
+    // complete loop below leaves reach_ptr at its full n+1 size.
+    perm.assign(n_, kNone);
+    reach_ptr.clear();
+    reach.clear();
+    mark_.assign(n_, kNone);  // last column that visited row
+    node_stack.reserve(n_);
+    child_pos.reserve(n_);
+    pattern.reserve(64);
+  }
 
   for (std::size_t k = 0; k < n_; ++k) {
-    // --- Symbolic: pattern of x = L \ A(:,k) via DFS through L's columns.
-    pattern.clear();
-    for (std::size_t p = cp[k]; p < cp[k + 1]; ++p) {
-      std::size_t start = ri[p];
-      if (mark[start] == k) continue;
-      node_stack.assign(1, start);
-      child_pos.assign(1, 0);
-      mark[start] = k;
-      while (!node_stack.empty()) {
-        const std::size_t node = node_stack.back();
-        const std::size_t piv = pinv[node];
-        const auto* col = piv == kNone ? nullptr : &lower_[piv];
-        bool descended = false;
-        while (col && child_pos.back() < col->rows.size()) {
-          const std::size_t child = col->rows[child_pos.back()++];
-          if (mark[child] != k) {
-            mark[child] = k;
-            node_stack.push_back(child);
-            child_pos.push_back(0);
-            descended = true;
-            break;
+    const std::size_t j = order[k];
+    const std::size_t* pat = nullptr;
+    std::size_t pat_size = 0;
+    if constexpr (kReuse) {
+      // --- Symbolic phase skipped: replay the cached per-column reach.
+      pat = reach.data() + reach_ptr[k];
+      pat_size = reach_ptr[k + 1] - reach_ptr[k];
+    } else {
+      // --- Symbolic: pattern of x = L \ A(:,j) via DFS through L's columns.
+      pattern.clear();
+      for (std::size_t p = cp[j]; p < cp[j + 1]; ++p) {
+        std::size_t start = ri[p];
+        if (mark_[start] == k) continue;
+        node_stack.assign(1, start);
+        child_pos.assign(1, 0);
+        mark_[start] = k;
+        while (!node_stack.empty()) {
+          const std::size_t node = node_stack.back();
+          const std::size_t piv = pinv_[node];
+          const auto* col = piv == kNone ? nullptr : &lower_[piv];
+          bool descended = false;
+          while (col && child_pos.back() < col->rows.size()) {
+            const std::size_t child = col->rows[child_pos.back()++];
+            if (mark_[child] != k) {
+              mark_[child] = k;
+              node_stack.push_back(child);
+              child_pos.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+          if (!descended) {
+            pattern.push_back(node);  // post-order
+            node_stack.pop_back();
+            child_pos.pop_back();
           }
         }
-        if (!descended) {
-          pattern.push_back(node);  // post-order
-          node_stack.pop_back();
-          child_pos.pop_back();
-        }
       }
+      pat = pattern.data();
+      pat_size = pattern.size();
     }
 
-    // --- Numeric: scatter A(:,k), then eliminate in topological order.
-    for (std::size_t node : pattern) x[node] = 0.0;
-    for (std::size_t p = cp[k]; p < cp[k + 1]; ++p) x[ri[p]] += av[p];
-    for (std::size_t idx = pattern.size(); idx-- > 0;) {
-      const std::size_t node = pattern[idx];
-      const std::size_t piv = pinv[node];
+    // --- Numeric: scatter A(:,j), then eliminate in topological order.
+    for (std::size_t idx = 0; idx < pat_size; ++idx) x_[pat[idx]] = 0.0;
+    for (std::size_t p = cp[j]; p < cp[j + 1]; ++p) x_[ri[p]] += av[p];
+    for (std::size_t idx = pat_size; idx-- > 0;) {
+      const std::size_t node = pat[idx];
+      const std::size_t piv = pinv_[node];
       if (piv == kNone) continue;
-      const double xn = x[node];
+      const double xn = x_[node];
       if (xn == 0.0) continue;
       const Col& col = lower_[piv];
       for (std::size_t q = 0; q < col.rows.size(); ++q)
-        x[col.rows[q]] -= col.vals[q] * xn;
+        x_[col.rows[q]] -= col.vals[q] * xn;
     }
 
-    // --- Partial pivoting among not-yet-pivoted rows.
+    // --- Partial pivoting among not-yet-pivoted rows, preferring the
+    // diagonal when it is within kDiagPreference of the column max. The
+    // rule is shared by both modes, so the replayed sequence verifies
+    // against exactly the choice a from-scratch factorisation would make.
     std::size_t pivot_row = kNone;
     double best = 0.0;
-    for (std::size_t node : pattern) {
-      if (pinv[node] != kNone) continue;
-      const double mag = std::abs(x[node]);
+    double diag_mag = -1.0;  // row j still unpivoted and in the pattern
+    for (std::size_t idx = 0; idx < pat_size; ++idx) {
+      const std::size_t node = pat[idx];
+      if (pinv_[node] != kNone) continue;
+      const double mag = std::abs(x_[node]);
+      if (node == j) diag_mag = mag;
       if (mag > best) {
         best = mag;
         pivot_row = node;
       }
     }
-    if (pivot_row == kNone || best == 0.0)
-      throw SingularMatrixError("SparseLu: singular at column " +
-                                std::to_string(k));
-    perm_[k] = pivot_row;
-    pinv[pivot_row] = k;
-    diag_[k] = x[pivot_row];
+    if (diag_mag > 0.0 && diag_mag >= kDiagPreference * best) pivot_row = j;
+    if constexpr (kReuse) {
+      // The cached schedule is only valid while the fresh pivot choice
+      // agrees with the recorded one (a kNone here is a singularity — the
+      // full path rebuilds and reports it consistently).
+      if (pivot_row != perm[k]) return false;
+    } else {
+      if (pivot_row == kNone || best == 0.0)
+        throw SingularMatrixError("SparseLu: singular at column " +
+                                  std::to_string(k));
+      perm[k] = pivot_row;
+    }
+    pinv_[pivot_row] = k;
+    diag_[k] = x_[pivot_row];
 
-    for (std::size_t node : pattern) {
-      const double val = x[node];
-      x[node] = 0.0;
-      if (node == pivot_row || val == 0.0) continue;
-      const std::size_t piv = pinv[node];
+    // Numerically-zero entries are kept so the stored pattern is a pure
+    // function of A's pattern and the pivot sequence — the invariant that
+    // makes the replayed schedule bitwise-equivalent to a fresh DFS.
+    Col& lo = lower_[k];
+    Col& up = upper_[k];
+    lo.rows.clear();
+    lo.vals.clear();
+    up.rows.clear();
+    up.vals.clear();
+    for (std::size_t idx = 0; idx < pat_size; ++idx) {
+      const std::size_t node = pat[idx];
+      const double val = x_[node];
+      x_[node] = 0.0;
+      if (node == pivot_row) continue;
+      const std::size_t piv = pinv_[node];
       if (piv != kNone) {
-        upper_[k].rows.push_back(piv);
-        upper_[k].vals.push_back(val);
+        up.rows.push_back(piv);
+        up.vals.push_back(val);
       } else {
-        lower_[k].rows.push_back(node);
-        lower_[k].vals.push_back(val / diag_[k]);
+        lo.rows.push_back(node);
+        lo.vals.push_back(val / diag_[k]);
       }
     }
+
+    if constexpr (!kReuse) {
+      if (reach_ptr.empty()) reach_ptr.push_back(0);
+      reach.insert(reach.end(), pattern.begin(), pattern.end());
+      reach_ptr.push_back(reach.size());
+    }
   }
+  if constexpr (!kReuse) {
+    if (reach_ptr.empty()) reach_ptr.push_back(0);  // n == 0
+  }
+  return true;
 }
 
 std::size_t SparseLu::fill_nnz() const {
@@ -123,12 +245,14 @@ std::size_t SparseLu::fill_nnz() const {
 
 Vector SparseLu::solve(const Vector& b) const {
   if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: size");
+  const auto& perm = symbolic_.perm_;
+  const auto& order = symbolic_.order_;
   // Forward substitution: y = L^{-1} P b, with L columns holding original
   // row indices so updates scatter directly into `work`.
   Vector work = b;
   Vector y(n_);
   for (std::size_t k = 0; k < n_; ++k) {
-    const double yk = work[perm_[k]];
+    const double yk = work[perm[k]];
     y[k] = yk;
     if (yk == 0.0) continue;
     const Col& col = lower_[k];
@@ -144,7 +268,10 @@ Vector SparseLu::solve(const Vector& b) const {
     for (std::size_t q = 0; q < col.rows.size(); ++q)
       y[col.rows[q]] -= col.vals[q] * xk;
   }
-  return y;
+  // Undo the fill-reducing column permutation: step k solved for x[order[k]].
+  Vector x(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[order[k]] = y[k];
+  return x;
 }
 
 }  // namespace ind::la

@@ -1,6 +1,7 @@
 #include "robust/recovery.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -117,6 +118,63 @@ GuardedSparseFactor factor_sparse_with_recovery(const la::CscMatrix& a,
 
   report.raise_status(SolveStatus::Failed);
   return out;
+}
+
+void refactor_sparse_with_recovery(GuardedSparseFactor& f,
+                                   const la::CscMatrix& a, SolveReport& report,
+                                   std::string_view where,
+                                   std::size_t dense_fallback_limit) {
+  const char* off = std::getenv("IND_SPARSE_NO_REFACTOR");
+  if (!f.sparse || (off && off[0] == '1')) {
+    f = factor_sparse_with_recovery(a, report, where, dense_fallback_limit);
+    return;
+  }
+  auto try_refactor = [&](const la::CscMatrix& m) {
+    if (fault::fire(fault::Site::SparseLuPivot)) {
+      report.detail = std::string(where) + ": injected singular sparse pivot";
+      return false;
+    }
+    try {
+      f.sparse->refactor(m);
+      return true;
+    } catch (const la::SingularMatrixError& e) {
+      report.detail = std::string(where) + ": " + e.what();
+      return false;
+    }
+  };
+
+  if (try_refactor(a)) return;
+
+  report.add_action(RecoveryKind::Retry, 0, 0.0, std::string(where));
+  if (try_refactor(a)) return;
+
+  if (a.rows() <= dense_fallback_limit) {
+    report.add_action(RecoveryKind::DenseFallback, 1,
+                      static_cast<double>(a.rows()), std::string(where));
+    try {
+      la::LU factor(a.to_dense());
+      report.pivot_growth =
+          std::max(report.pivot_growth, factor.pivot_growth());
+      report.condition_estimate =
+          std::max(report.condition_estimate, factor.condition_estimate());
+      f.sparse.reset();
+      f.dense = std::make_unique<la::LU>(std::move(factor));
+      return;
+    } catch (const la::SingularMatrixError& e) {
+      report.detail = std::string(where) + ": " + e.what();
+    }
+  }
+
+  for (std::size_t k = 0; k < kGminLevels.size(); ++k) {
+    const double gmin = kGminLevels[k];
+    report.add_action(RecoveryKind::GminRegularization,
+                      static_cast<int>(k) + 2, gmin, std::string(where));
+    if (try_refactor(with_diagonal_shift(a, gmin))) return;
+  }
+
+  f.sparse.reset();
+  f.dense.reset();
+  report.raise_status(SolveStatus::Failed);
 }
 
 bool all_finite(const la::Vector& v) {

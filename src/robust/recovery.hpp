@@ -58,6 +58,21 @@ GuardedSparseFactor factor_sparse_with_recovery(
     const la::CscMatrix& a, SolveReport& report, std::string_view where,
     std::size_t dense_fallback_limit = 2048);
 
+/// Re-factorises `f` in place through the same ladder as
+/// factor_sparse_with_recovery. An existing sparse factor is reused via
+/// SparseLu::refactor — numeric-only when pattern and pivot sequence are
+/// unchanged, so driver-transition refactorisations and gmin-shifted
+/// retries skip the symbolic work — and the result stays bitwise-identical
+/// to a from-scratch ladder run. Without a usable sparse factor (first
+/// call, or after a dense fallback) this degrades to the from-scratch
+/// ladder. On an exhausted ladder `f` is left unusable and the report
+/// Failed. Setting IND_SPARSE_NO_REFACTOR=1 forces the from-scratch ladder
+/// every time (A/B oracle for the reuse path).
+void refactor_sparse_with_recovery(GuardedSparseFactor& f,
+                                   const la::CscMatrix& a, SolveReport& report,
+                                   std::string_view where,
+                                   std::size_t dense_fallback_limit = 2048);
+
 /// True when every entry is finite (no NaN / inf).
 bool all_finite(const la::Vector& v);
 bool all_finite(const la::CVector& v);

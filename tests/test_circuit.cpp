@@ -406,7 +406,14 @@ TEST(Waveform, CrossingAndDelay) {
   const auto d = delay_50(t, v, 0.0, 1.0);
   ASSERT_TRUE(d.has_value());
   EXPECT_NEAR(*d, 1.75, 1e-12);
-  EXPECT_FALSE(crossing_time(t, v, 0.5, false).has_value());
+  // Falling measurement of a waveform already below the level at t=0:
+  // reported as "reached at time[0]".
+  const auto f = crossing_time(t, v, 0.5, false);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(*f, 0.0);
+  // A waveform that stays strictly above the level never falls through it.
+  EXPECT_FALSE(
+      crossing_time(t, {1.0, 1.2, 1.1, 1.4, 1.3}, 0.5, false).has_value());
 }
 
 TEST(Waveform, OvershootAndNoise) {
@@ -636,6 +643,128 @@ TEST(Waveform, SkewValidation) {
   EXPECT_THROW(
       measure_skew({0, 1}, {ind::la::Vector{0, 1}}, {"a", "b"}, 0.0, 1.0),
       std::invalid_argument);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Symbolic-reuse refactorisation through the transient engine, and waveform
+// measurement edge cases.
+// ---------------------------------------------------------------------------
+
+#include <cstdlib>
+
+#include "runtime/metrics.hpp"
+
+namespace {
+
+// Driver-switched RC grid, forced onto the sparse solver: the driver's
+// quantised conductance ramp makes the engine refactorise the same sparsity
+// pattern repeatedly — exactly the numeric-only reuse path.
+TransientResult run_driver_grid_sparse() {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  nl.add_vsource(vdd, kGround, Pwl::constant(1.8));
+  const NodeId out = nl.node("out");
+  SwitchedDriver d;
+  d.out = out;
+  d.vdd = vdd;
+  d.gnd = kGround;
+  d.pull_ohms = 50.0;
+  d.slew = 50e-12;
+  d.start = 50e-12;
+  d.rising = true;
+  nl.add_driver(d);
+  NodeId prev = out;
+  for (int k = 0; k < 30; ++k) {
+    const NodeId next = nl.make_node();
+    nl.add_resistor(prev, next, 20.0);
+    nl.add_capacitor(next, kGround, 4e-15);
+    prev = next;
+  }
+  TransientOptions opts;
+  opts.t_stop = 0.5e-9;
+  opts.dt = 1e-12;
+  opts.solver = TransientOptions::Solver::Sparse;
+  return transient(
+      nl, {{ProbeKind::NodeVoltage, static_cast<std::size_t>(prev), "end"}},
+      opts);
+}
+
+TEST(Transient, SparseRefactorReuseIsBitwiseIdenticalToFromScratch) {
+  auto& metrics = ind::runtime::MetricsRegistry::instance();
+  const auto reused_before =
+      metrics.counter("factor.sparse_lu.refactors").value.load();
+  const TransientResult with_reuse = run_driver_grid_sparse();
+  EXPECT_FALSE(with_reuse.used_dense);
+  EXPECT_GT(with_reuse.refactor_count, 0u);
+  // The driver transitions actually exercised the numeric-only path.
+  EXPECT_GT(metrics.counter("factor.sparse_lu.refactors").value.load(),
+            reused_before);
+
+  // Same run with symbolic reuse disabled: every refactorisation goes
+  // through the full from-scratch ladder. Waveforms must match bitwise.
+  ::setenv("IND_SPARSE_NO_REFACTOR", "1", 1);
+  const TransientResult scratch = run_driver_grid_sparse();
+  ::unsetenv("IND_SPARSE_NO_REFACTOR");
+
+  ASSERT_EQ(with_reuse.samples[0].size(), scratch.samples[0].size());
+  for (std::size_t k = 0; k < scratch.samples[0].size(); ++k)
+    EXPECT_EQ(with_reuse.samples[0][k], scratch.samples[0][k]) << "sample " << k;
+}
+
+TEST(Waveform, CrossingAtFirstSample) {
+  const ind::la::Vector t{0, 1, 2};
+  // Starts exactly at the level: reported at time[0], not missed.
+  const auto r = crossing_time(t, {0.5, 0.7, 1.0}, 0.5, true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+  // Exact-level plateau: never satisfies the strict scan, still t[0].
+  const auto p = crossing_time(t, {0.5, 0.5, 0.5}, 0.5, true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(*p, 0.0);
+  // Falling waveform starting exactly at the level.
+  const auto f = crossing_time(t, {0.5, 0.3, 0.1}, 0.5, false);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(*f, 0.0);
+  // Empty waveform: no crossing, no out-of-range access.
+  EXPECT_FALSE(crossing_time({}, {}, 0.5, true).has_value());
+}
+
+TEST(Waveform, OvershootCountsUndershootBelowBand) {
+  // Ringing edge: +0.2 above the settled value, -0.3 below the start.
+  const ind::la::Vector v{0.0, 1.2, -0.3, 1.0};
+  EXPECT_NEAR(overshoot_fraction(v, 0.0, 1.0), 0.3, 1e-12);
+  // Falling edge: band is [v_final, v_initial]; excursion above the start.
+  const ind::la::Vector w{1.0, 1.2, 0.2, 0.0};
+  EXPECT_NEAR(overshoot_fraction(w, 1.0, 0.0), 0.2, 1e-12);
+}
+
+TEST(Waveform, SkewExcludesNonCrossingSinks) {
+  const ind::la::Vector t{0, 1, 2, 3, 4};
+  const std::vector<ind::la::Vector> sinks{{0, 0.6, 1, 1, 1},
+                                           {0, 0.1, 0.4, 0.6, 1},
+                                           {0, 0.1, 0.2, 0.2, 0.2}};
+  const SkewReport r =
+      measure_skew(t, sinks, {"fast", "slow", "stuck"}, 0.0, 1.0);
+  ASSERT_EQ(r.non_crossing_sinks.size(), 1u);
+  EXPECT_EQ(r.non_crossing_sinks[0], "stuck");
+  EXPECT_EQ(r.worst_sink, "slow");
+  EXPECT_EQ(r.best_sink, "fast");
+  EXPECT_TRUE(std::isfinite(r.skew));
+  EXPECT_TRUE(std::isfinite(r.worst_delay));
+}
+
+TEST(Waveform, SkewWithNoCrossingSinkIsInfNotNan) {
+  const ind::la::Vector t{0, 1, 2};
+  const std::vector<ind::la::Vector> sinks{{0, 0.1, 0.2}, {0, 0.0, 0.1}};
+  const SkewReport r = measure_skew(t, sinks, {"a", "b"}, 0.0, 1.0);
+  EXPECT_EQ(r.non_crossing_sinks.size(), 2u);
+  EXPECT_TRUE(std::isinf(r.skew));
+  EXPECT_FALSE(std::isnan(r.skew));
+  EXPECT_TRUE(std::isinf(r.worst_delay));
+  EXPECT_TRUE(r.worst_sink.empty());
+  EXPECT_TRUE(r.best_sink.empty());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "la/amd.hpp"
 #include "la/cholesky.hpp"
 #include "la/dense_matrix.hpp"
 #include "la/eig.hpp"
@@ -10,6 +11,7 @@
 #include "la/qr.hpp"
 #include "la/sparse.hpp"
 #include "la/sparse_lu.hpp"
+#include "runtime/metrics.hpp"
 
 namespace {
 
@@ -355,6 +357,184 @@ TEST(DenseMatrix, ComplexInfNorm) {
 TEST(Qr, EmptyInputYieldsEmptyBasis) {
   const QrResult r = orthonormalize(Matrix(4, 0));
   EXPECT_EQ(r.rank, 0u);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AMD ordering and symbolic-reuse refactorisation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace ind::la;
+
+CscMatrix grid_laplacian(int n, double shift = 0.0) {
+  TripletMatrix t(static_cast<std::size_t>(n * n),
+                  static_cast<std::size_t>(n * n));
+  auto id = [&](int i, int j) { return static_cast<std::size_t>(i * n + j); };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      t.add(id(i, j), id(i, j), 4.0 + 0.01 * (i + j) + shift);
+      if (i > 0) t.add(id(i, j), id(i - 1, j), -1.0 - shift * 0.1);
+      if (i < n - 1) t.add(id(i, j), id(i + 1, j), -1.0);
+      if (j > 0) t.add(id(i, j), id(i, j - 1), -1.0 + shift * 0.05);
+      if (j < n - 1) t.add(id(i, j), id(i, j + 1), -1.0);
+    }
+  }
+  return CscMatrix(t);
+}
+
+bool is_permutation(const std::vector<std::size_t>& p, std::size_t n) {
+  if (p.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (std::size_t v : p) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+TEST(Amd, ValidAndDeterministicPermutation) {
+  const CscMatrix a = grid_laplacian(12);
+  const std::vector<std::size_t> p1 = amd_order(a);
+  EXPECT_TRUE(is_permutation(p1, a.rows()));
+  // Pure function of the pattern: same pattern (different values) -> the
+  // exact same order, run after run.
+  const std::vector<std::size_t> p2 = amd_order(grid_laplacian(12, 0.5));
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Amd, ArrowMatrixEliminatesHubLast) {
+  // Arrow matrix: dense first row/column + diagonal. Natural order
+  // eliminates the hub first and fills the whole matrix; minimum degree
+  // must postpone the hub to the end, giving zero fill.
+  const std::size_t n = 16;
+  TripletMatrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 10.0);
+    if (i > 0) {
+      t.add(0, i, 0.1);
+      t.add(i, 0, 0.1);
+    }
+  }
+  const CscMatrix a(t);
+  const std::vector<std::size_t> p = amd_order(a);
+  ASSERT_TRUE(is_permutation(p, n));
+  // The hub keeps maximum degree until only one leaf is left, so it lands
+  // in one of the last two elimination slots (smallest-index tie-break can
+  // put the final leaf after it).
+  std::size_t hub_pos = n;
+  for (std::size_t k = 0; k < n; ++k)
+    if (p[k] == 0) hub_pos = k;
+  EXPECT_GE(hub_pos, n - 2);
+  // Diagonally-dominant, so pivots stay on the diagonal: the factor's
+  // stored pattern equals A's pattern exactly when the hub goes last.
+  SparseLu lu(a);
+  EXPECT_EQ(lu.fill_nnz(), a.nnz());
+}
+
+TEST(SparseLu, AmdReducesGridFill) {
+  const CscMatrix a = grid_laplacian(20);
+  SparseLu lu(a);
+  // Natural-order factorisation of a 20x20 grid Laplacian carries a full
+  // bandwidth-20 profile (> 15k stored entries). AMD must do much better.
+  EXPECT_LT(lu.fill_nnz(), 12000u);
+  EXPECT_GE(lu.fill_nnz(), a.nnz());
+}
+
+TEST(SparseLu, RefactorMatchesFromScratchBitwise) {
+  const CscMatrix a0 = grid_laplacian(15);
+  const CscMatrix a1 = grid_laplacian(15, 0.25);  // same pattern, new values
+
+  SparseLu reused(a0);
+  EXPECT_TRUE(reused.symbolic().factored());
+  reused.refactor(a1);
+
+  const SparseLu scratch(a1);
+  Vector b(a1.rows());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = std::cos(0.3 * static_cast<double>(i));
+  const Vector x_reused = reused.solve(b);
+  const Vector x_scratch = scratch.solve(b);
+  ASSERT_EQ(x_reused.size(), x_scratch.size());
+  for (std::size_t i = 0; i < x_reused.size(); ++i)
+    EXPECT_EQ(x_reused[i], x_scratch[i]);  // bitwise, not approximate
+}
+
+TEST(SparseLu, SharedSymbolicAcrossInstances) {
+  const CscMatrix a0 = grid_laplacian(10);
+  const CscMatrix a1 = grid_laplacian(10, 0.5);
+  SparseLu first(a0);
+  // A second factorisation constructed from the first one's symbolic state
+  // skips straight to the numeric-only pass and stays bitwise identical.
+  SparseLu second(a1, first.symbolic());
+  const SparseLu scratch(a1);
+  Vector b(a1.rows(), 1.0);
+  const Vector x = second.solve(b);
+  const Vector x_ref = scratch.solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_ref[i]);
+}
+
+TEST(SparseLu, PivotDriftFallsBackToFullFactorisation) {
+  // A1 pivots on the diagonal of column 0 (diagonal preference); A2 keeps
+  // the same pattern but zeroes the diagonal, forcing the off-diagonal
+  // pivot. Refactoring A1's factor with A2's values must detect the drift
+  // and rerun the full factorisation, still matching from-scratch.
+  TripletMatrix t1(2, 2), t2(2, 2);
+  t1.add(0, 0, 1.0); t1.add(1, 0, 2.0); t1.add(0, 1, 4.0); t1.add(1, 1, 1.0);
+  t2.add(0, 0, 0.0); t2.add(1, 0, 2.0); t2.add(0, 1, 4.0); t2.add(1, 1, 0.0);
+  const CscMatrix a1(t1), a2(t2);
+
+  SparseLu lu(a1);
+  auto& drift =
+      ind::runtime::MetricsRegistry::instance().counter(
+          "factor.sparse_lu.pivot_drift");
+  const auto drift_before = drift.value.load();
+  lu.refactor(a2);
+  EXPECT_EQ(drift.value.load(), drift_before + 1);
+  const SparseLu scratch(a2);
+  const Vector b{1.0, 2.0};
+  const Vector x = lu.solve(b);
+  const Vector x_ref = scratch.solve(b);
+  EXPECT_EQ(x[0], x_ref[0]);
+  EXPECT_EQ(x[1], x_ref[1]);
+}
+
+TEST(SparseLu, RefactorWithNewPatternReanalyses) {
+  const CscMatrix a = grid_laplacian(8);
+  SparseLu lu(a);
+
+  TripletMatrix t(4, 4);  // entirely different matrix, different size
+  t.add(0, 0, 2.0); t.add(1, 1, 3.0); t.add(2, 2, 4.0); t.add(3, 3, 5.0);
+  t.add(0, 3, 1.0); t.add(3, 0, 1.0);
+  const CscMatrix d(t);
+  lu.refactor(d);
+  EXPECT_EQ(lu.size(), 4u);
+  EXPECT_TRUE(lu.symbolic().matches_pattern(d));
+
+  const Vector b{1.0, 3.0, 4.0, 5.0};
+  const Vector x = lu.solve(b);
+  const Vector x_ref = SparseLu(d).solve(b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(x[i], x_ref[i]);
+}
+
+TEST(SparseLu, RefactorThrowsOnSingularAndRecovers) {
+  const CscMatrix a = grid_laplacian(6);
+  SparseLu lu(a);
+  TripletMatrix t(a.rows(), a.cols());
+  // Same pattern, but all values zero: singular.
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t k = a.col_ptr()[j]; k < a.col_ptr()[j + 1]; ++k)
+      t.add(a.row_idx()[k], j, 0.0);
+  const CscMatrix zeros(t);
+  EXPECT_THROW(lu.refactor(zeros), SingularMatrixError);
+  // The object is reusable after a successful refactorisation.
+  lu.refactor(a);
+  Vector b(a.rows(), 1.0);
+  const Vector x = lu.solve(b);
+  const Vector x_ref = SparseLu(a).solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_ref[i]);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -670,6 +671,110 @@ TEST_F(RobustReport, RecordPublishesMetricsCounters) {
   EXPECT_GE(metrics.counter("robust.testsite.recovered").value.load(), 1);
   EXPECT_GE(metrics.counter("robust.action.retry").value.load(), 1);
   EXPECT_GE(metrics.counter("robust.testsite.max_log10_cond").value.load(), 8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Guarded numeric-only refactorisation (symbolic reuse through the ladder).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+la::CscMatrix tridiag_scaled(std::size_t n, double diag) {
+  la::TripletMatrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, diag);
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  return la::CscMatrix(t);
+}
+
+TEST_F(RobustSparse, RefactorReusesPatternBitwise) {
+  const la::CscMatrix a0 = tridiag_scaled(6, 4.0);
+  const la::CscMatrix a1 = tridiag_scaled(6, 7.5);  // same pattern
+  la::Vector b(6, 1.0);
+
+  SolveReport report;
+  auto factor = robust::factor_sparse_with_recovery(a0, report, "test");
+  ASSERT_NE(factor.sparse, nullptr);
+
+  auto& metrics = runtime::MetricsRegistry::instance();
+  const auto refactors_before =
+      metrics.counter("factor.sparse_lu.refactors").value.load();
+  robust::refactor_sparse_with_recovery(factor, a1, report, "test");
+  ASSERT_NE(factor.sparse, nullptr);
+  EXPECT_EQ(metrics.counter("factor.sparse_lu.refactors").value.load(),
+            refactors_before + 1);
+
+  const la::Vector x = factor.solve(b);
+  const la::Vector x0 = la::SparseLu(a1).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(x[i], x0[i]);
+}
+
+TEST_F(RobustSparse, RefactorInjectedFaultRetriesBitwise) {
+  const la::CscMatrix a0 = tridiag_scaled(6, 4.0);
+  const la::CscMatrix a1 = tridiag_scaled(6, 5.0);
+  la::Vector b(6, 1.0);
+
+  SolveReport report;
+  auto factor = robust::factor_sparse_with_recovery(a0, report, "test");
+  ASSERT_NE(factor.sparse, nullptr);
+
+  fault::configure("sparse_lu_pivot@0");
+  robust::refactor_sparse_with_recovery(factor, a1, report, "test");
+  ASSERT_NE(factor.sparse, nullptr);
+  EXPECT_TRUE(has_action(report, RecoveryKind::Retry));
+  const la::Vector x = factor.solve(b);
+  const la::Vector x0 = la::SparseLu(a1).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(x[i], x0[i]);
+}
+
+TEST_F(RobustSparse, RefactorConsecutiveFaultsFallBackToDense) {
+  const la::CscMatrix a0 = tridiag_scaled(6, 4.0);
+  const la::CscMatrix a1 = tridiag_scaled(6, 5.0);
+  la::Vector b(6, 1.0);
+
+  SolveReport report;
+  auto factor = robust::factor_sparse_with_recovery(a0, report, "test");
+  ASSERT_NE(factor.sparse, nullptr);
+
+  fault::configure("sparse_lu_pivot@0,1");
+  robust::refactor_sparse_with_recovery(factor, a1, report, "test");
+  ASSERT_TRUE(factor.usable());
+  EXPECT_NE(factor.dense, nullptr);
+  EXPECT_TRUE(has_action(report, RecoveryKind::DenseFallback));
+  const la::Vector x = factor.solve(b);
+  const la::Vector x0 = la::SparseLu(a1).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x0[i], 1e-12);
+}
+
+TEST_F(RobustSparse, RefactorEnvGateForcesFromScratch) {
+  const la::CscMatrix a0 = tridiag_scaled(6, 4.0);
+  const la::CscMatrix a1 = tridiag_scaled(6, 5.0);
+  la::Vector b(6, 1.0);
+
+  SolveReport report;
+  auto factor = robust::factor_sparse_with_recovery(a0, report, "test");
+  ASSERT_NE(factor.sparse, nullptr);
+
+  ::setenv("IND_SPARSE_NO_REFACTOR", "1", 1);
+  auto& metrics = runtime::MetricsRegistry::instance();
+  const auto refactors_before =
+      metrics.counter("factor.sparse_lu.refactors").value.load();
+  robust::refactor_sparse_with_recovery(factor, a1, report, "test");
+  ::unsetenv("IND_SPARSE_NO_REFACTOR");
+
+  ASSERT_NE(factor.sparse, nullptr);
+  // The gate forces the full from-scratch ladder: no numeric-only pass ran.
+  EXPECT_EQ(metrics.counter("factor.sparse_lu.refactors").value.load(),
+            refactors_before);
+  const la::Vector x = factor.solve(b);
+  const la::Vector x0 = la::SparseLu(a1).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(x[i], x0[i]);
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for BENCH_*.json files.
+
+Compares the summed wall time of every `factor.*` and `solve.*` timer in a
+fresh bench report against a committed baseline and fails (exit 1) when the
+current total exceeds the baseline by more than --max-ratio. Solver work is
+what this repo's PRs optimise; the other phases (extract/assemble) are
+guarded indirectly through the wall-clock numbers tracked per PR.
+
+Usage:
+    python3 tools/perf_guard.py BENCH_table1_clocknet.json \
+        BENCH_baseline.json --max-ratio 1.25
+"""
+
+import argparse
+import json
+import sys
+
+GUARDED_PREFIXES = ("factor.", "solve.")
+
+
+def guarded_total_ms(path):
+    with open(path) as f:
+        report = json.load(f)
+    # Bench reports nest timers under "metrics"; accept a bare registry
+    # snapshot too so the tool works on hand-captured files.
+    metrics = report.get("metrics", report)
+    timers = metrics.get("timers", {})
+    picked = {
+        name: stat["total_ms"]
+        for name, stat in timers.items()
+        if name.startswith(GUARDED_PREFIXES)
+    }
+    return sum(picked.values()), picked
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_<name>.json")
+    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.25,
+        help="fail when current/baseline exceeds this (default 1.25)",
+    )
+    args = parser.parse_args()
+
+    current_ms, current = guarded_total_ms(args.current)
+    baseline_ms, baseline = guarded_total_ms(args.baseline)
+    if baseline_ms <= 0.0:
+        print("perf_guard: baseline has no factor.*/solve.* timers; skipping")
+        return 0
+
+    ratio = current_ms / baseline_ms
+    print(f"perf_guard: factor.* + solve.* total "
+          f"{current_ms:.1f} ms vs baseline {baseline_ms:.1f} ms "
+          f"(ratio {ratio:.2f}, limit {args.max_ratio:.2f})")
+    for name in sorted(set(current) | set(baseline)):
+        print(f"  {name:40s} {current.get(name, 0.0):10.1f} ms "
+              f"(baseline {baseline.get(name, 0.0):10.1f} ms)")
+
+    if ratio > args.max_ratio:
+        print(f"perf_guard: FAIL — solver time regressed "
+              f"{(ratio - 1.0) * 100.0:.0f}% past the {args.max_ratio:.2f}x "
+              f"budget", file=sys.stderr)
+        return 1
+    print("perf_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
