@@ -7,6 +7,7 @@
 
 #include "circuit/waveform.hpp"
 #include "core/analyzer.hpp"
+#include "govern/budget.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
@@ -51,12 +52,17 @@ int main() {
 
   std::vector<std::vector<std::string>> rows;
   core::AnalysisReport rlc;
-  for (const core::Flow flow : {core::Flow::PeecRc, core::Flow::PeecRlcFull,
-                                core::Flow::LoopRlc}) {
-    opts.flow = flow;
-    const auto r = core::analyze(layout, opts);
-    rows.push_back(core::table1_row(r));
-    if (flow == core::Flow::PeecRlcFull) rlc = r;
+  try {
+    for (const core::Flow flow : {core::Flow::PeecRc, core::Flow::PeecRlcFull,
+                                  core::Flow::LoopRlc}) {
+      opts.flow = flow;
+      const auto r = core::analyze(layout, opts);
+      rows.push_back(core::table1_row(r));
+      if (flow == core::Flow::PeecRlcFull) rlc = r;
+    }
+  } catch (const govern::CancelledError& e) {
+    std::printf("\nanalysis cancelled: %s\n", e.what());
+    return 1;
   }
   core::print_table(core::table1_header(), rows);
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "govern/budget.hpp"
 #include "design/metrics.hpp"
 #include "design/significance.hpp"
 #include "geom/topologies.hpp"
@@ -133,7 +134,13 @@ int main() {
     opts.peec.max_segment_length = um(200);
     opts.transient.t_stop = 1.2e-9;
     opts.transient.dt = 2e-12;
-    const auto rep = core::analyze(v.layout, opts);
+    core::AnalysisReport rep;
+    try {
+      rep = core::analyze(v.layout, opts);
+    } catch (const govern::CancelledError& e) {
+      std::printf("\nanalysis cancelled: %s\n", e.what());
+      return 1;
+    }
 
     std::printf("%-24s %10.3f %10s %9.1fps %9.0f%% %12.1f\n", v.name.c_str(),
                 loop_l * 1e9, sig.inductance_significant ? "yes" : "no",

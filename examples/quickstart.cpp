@@ -8,6 +8,7 @@
 #include "core/analyzer.hpp"
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
+#include "govern/budget.hpp"
 #include "runtime/bench_report.hpp"
 
 using namespace ind;
@@ -41,13 +42,21 @@ int main() {
   opts.transient.t_stop = 1.5e-9;
   opts.transient.dt = 2e-12;
 
-  opts.flow = core::Flow::PeecRc;
-  const auto rc = core::analyze(layout, opts);
-  opts.flow = core::Flow::PeecRlcFull;
-  const auto rlc = core::analyze(layout, opts);
-  opts.flow = core::Flow::LoopRlc;
-  opts.loop.extraction.max_segment_length = um(100);
-  const auto loop = core::analyze(layout, opts);
+  core::AnalysisReport rc, rlc, loop;
+  try {
+    opts.flow = core::Flow::PeecRc;
+    rc = core::analyze(layout, opts);
+    opts.flow = core::Flow::PeecRlcFull;
+    rlc = core::analyze(layout, opts);
+    opts.flow = core::Flow::LoopRlc;
+    opts.loop.extraction.max_segment_length = um(100);
+    loop = core::analyze(layout, opts);
+  } catch (const govern::CancelledError& e) {
+    // A deadline/external cancellation (IND_DEADLINE_MS) is a normal
+    // governed outcome, not a crash: report it and exit nonzero.
+    std::printf("\nanalysis cancelled: %s\n", e.what());
+    return 1;
+  }
 
   // 3. Report: inductance changes the answer.
   core::print_table(core::table1_header(), {core::table1_row(rc),

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "govern/budget.hpp"
 #include "la/lu.hpp"
 #include "la/sparse_lu.hpp"
 #include "robust/fault_injection.hpp"
@@ -285,15 +286,47 @@ TransientResult transient(const Netlist& netlist,
 
   la::Vector b_prev;
   mna.rhs(0.0, b_prev);
+  // Budget charge per step: the dominant per-step cost is the backsolve —
+  // n^2 on the dense path, nnz-proportional on the sparse one. Both are pure
+  // functions of the problem shape, so the running total stays deterministic,
+  // and a cheaper (sparser) model genuinely reports less work — which is what
+  // lets the analyzer's degradation ladder find a rung that fits the budget.
+  const std::uint64_t step_cost =
+      dense ? static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n)
+            : static_cast<std::uint64_t>(g_static.nnz() + c_csc.nnz() + n);
   for (std::size_t k = 1; k <= steps; ++k) {
+    // Budget poll per step. A tripped budget keeps the waveform prefix
+    // computed so far, marked truncated — an explicit partial answer beats
+    // none when the deadline is the binding limit.
+    if (govern::checkpoint(step_cost)) {
+      result.truncated = true;
+      result.report.add_action(
+          robust::RecoveryKind::BudgetExceeded, 0, 0.0,
+          std::string("transient truncated at step ") + std::to_string(k) +
+              " [" +
+              govern::to_string(govern::Governor::instance().cancel_kind()) +
+              "]");
+      break;
+    }
     const double t_prev = (k - 1) * h;
     const double t_next = k * h;
 
     // Refactor only if driver conductances moved since the factored state.
     if (driver_state(netlist, t_next) != factored_state) {
-      if (!refactor(t_next))
-        return fail("companion matrix factorisation failed at t = " +
-                    std::to_string(t_next) + " s");
+      try {
+        if (!refactor(t_next))
+          return fail("companion matrix factorisation failed at t = " +
+                      std::to_string(t_next) + " s");
+      } catch (const govern::CancelledError& e) {
+        // A budget trip inside the factorisation kernel: keep the waveform
+        // prefix instead of surfacing the throw.
+        result.truncated = true;
+        result.report.add_action(robust::RecoveryKind::BudgetExceeded, 0, 0.0,
+                                 std::string("transient truncated at step ") +
+                                     std::to_string(k) + " [" +
+                                     govern::to_string(e.kind()) + "]");
+        break;
+      }
     }
 
     const auto t0 = Clock::now();

@@ -63,6 +63,11 @@ struct TransientResult {
   std::size_t refactor_count = 0;
   std::size_t unknowns = 0;
   bool used_dense = false;
+  /// True when a resource budget (deadline / memory / work) cancelled the
+  /// integration mid-run: `time`/`samples` hold the prefix computed so far
+  /// and the report carries a BudgetExceeded action. The partial waveform
+  /// is usable but must be surfaced as truncated, never as complete.
+  bool truncated = false;
 
   /// Robustness diagnostics: factorisation condition estimate, every
   /// fallback action taken (gmin regularisation, dense fallback, dt

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "circuit/waveform.hpp"
+#include "govern/budget.hpp"
 #include "mor/hierarchical.hpp"
 #include "mor/prima.hpp"
 #include "mor/reduced_model.hpp"
@@ -225,7 +226,6 @@ AnalysisReport analyze_prima(const geom::Layout& layout,
   report.sink_waveforms = res.outputs;
   report.sink_names = model.receiver_names;
   measure_sinks(report, model.vdd_volts);
-  publish_results(report);
   return report;
 }
 
@@ -251,31 +251,16 @@ AnalysisReport analyze_loop(const geom::Layout& layout,
   report.time = res.time;
   report.sink_waveforms = res.samples;
   report.sink_names = model.receiver_names;
+  report.waveform_truncated = res.truncated;
+  report.solve_report = res.report;
   measure_sinks(report, model.vdd_volts);
-  publish_results(report);
   return report;
 }
 
-}  // namespace
-
-const char* flow_name(Flow flow) {
-  switch (flow) {
-    case Flow::PeecRc: return "PEEC (RC)";
-    case Flow::PeecRlcFull: return "PEEC (RLC)";
-    case Flow::PeecRlcTruncated: return "PEEC (RLC, truncated)";
-    case Flow::PeecRlcBlockDiag: return "PEEC (RLC, block-diag)";
-    case Flow::PeecRlcShell: return "PEEC (RLC, shell)";
-    case Flow::PeecRlcHalo: return "PEEC (RLC, halo)";
-    case Flow::PeecRlcKMatrix: return "PEEC (RLC, K-matrix)";
-    case Flow::PeecRlcPrima: return "PEEC (RLC, PRIMA)";
-    case Flow::PeecRlcHier: return "PEEC (RLC, hierarchical)";
-    case Flow::LoopRlc: return "LOOP (RLC)";
-  }
-  return "?";
-}
-
-AnalysisReport analyze(const geom::Layout& layout,
-                       const AnalysisOptions& opts) {
+/// One ungoverned attempt at a single flow. Budget trips inside the kernels
+/// surface as govern::CancelledError (or as a truncated transient result).
+AnalysisReport run_flow(const geom::Layout& layout,
+                        const AnalysisOptions& opts) {
   if (opts.flow == Flow::PeecRlcPrima || opts.flow == Flow::PeecRlcHier)
     return analyze_prima(layout, opts);
   if (opts.flow == Flow::LoopRlc) return analyze_loop(layout, opts);
@@ -306,9 +291,141 @@ AnalysisReport analyze(const geom::Layout& layout,
   report.time = res.time;
   report.sink_waveforms = res.samples;
   report.sink_names = model.receiver_names;
+  report.waveform_truncated = res.truncated;
+  report.solve_report = res.report;
   measure_sinks(report, model.vdd_volts);
-  publish_results(report);
   return report;
+}
+
+/// The Section-4 fidelity ladder, cheapest direction only: each rung costs
+/// strictly less (fewer mutuals, then no PEEC mesh at all), so a budget that
+/// tripped rung k can plausibly fit rung k+1. Loop RL needs a signal net to
+/// trace, hence the flag.
+bool next_cheaper(Flow flow, bool has_signal_net, Flow& out) {
+  switch (flow) {
+    case Flow::PeecRlcFull:
+    case Flow::PeecRlcPrima:
+    case Flow::PeecRlcHier:
+    case Flow::PeecRlcKMatrix:
+      out = Flow::PeecRlcBlockDiag;
+      return true;
+    case Flow::PeecRlcBlockDiag:
+    case Flow::PeecRlcHalo:
+      out = Flow::PeecRlcShell;
+      return true;
+    case Flow::PeecRlcShell:
+      out = Flow::PeecRlcTruncated;
+      return true;
+    case Flow::PeecRlcTruncated:
+      out = Flow::LoopRlc;
+      return has_signal_net;
+    case Flow::PeecRc:
+    case Flow::LoopRlc:
+      return false;  // already the cheapest of their families
+  }
+  return false;
+}
+
+/// Degenerate layouts fail fast with a diagnosis instead of surfacing later
+/// as an empty MNA system or a measure_skew over zero sinks.
+void validate_for_analysis(const geom::Layout& layout) {
+  if (layout.segments().empty())
+    throw std::invalid_argument(
+        "analyze: layout has no segments — nothing to extract");
+  if (layout.drivers().empty())
+    throw std::invalid_argument(
+        "analyze: layout has no drivers — nothing switches");
+  if (layout.receivers().empty())
+    throw std::invalid_argument(
+        "analyze: layout has no receivers — nothing to measure");
+}
+
+}  // namespace
+
+const char* flow_name(Flow flow) {
+  switch (flow) {
+    case Flow::PeecRc: return "PEEC (RC)";
+    case Flow::PeecRlcFull: return "PEEC (RLC)";
+    case Flow::PeecRlcTruncated: return "PEEC (RLC, truncated)";
+    case Flow::PeecRlcBlockDiag: return "PEEC (RLC, block-diag)";
+    case Flow::PeecRlcShell: return "PEEC (RLC, shell)";
+    case Flow::PeecRlcHalo: return "PEEC (RLC, halo)";
+    case Flow::PeecRlcKMatrix: return "PEEC (RLC, K-matrix)";
+    case Flow::PeecRlcPrima: return "PEEC (RLC, PRIMA)";
+    case Flow::PeecRlcHier: return "PEEC (RLC, hierarchical)";
+    case Flow::LoopRlc: return "LOOP (RLC)";
+  }
+  return "?";
+}
+
+AnalysisReport analyze(const geom::Layout& layout,
+                       const AnalysisOptions& opts) {
+  validate_for_analysis(layout);
+
+  auto& gov = govern::Governor::instance();
+  auto& reg = runtime::MetricsRegistry::instance();
+  gov.begin_run();
+
+  // Degradation ladder: each attempt resets the work counter and cancel
+  // token (begin_attempt) so the decision to trip at rung k is a pure
+  // function of rung k's own work — independent of how rung k-1 failed and
+  // of the thread count. Work/memory trips retry one rung cheaper — whether
+  // they surfaced as a CancelledError from a build/factor kernel or as a
+  // truncated transient (the partial is discarded; the cheaper rung can
+  // still deliver a complete answer). A blown deadline cannot be un-spent,
+  // so it never retries: a deadline-truncated waveform is returned as-is
+  // and a deadline trip outside the stepper propagates to the caller.
+  AnalysisOptions attempt = opts;
+  std::vector<std::string> degradations;
+  const auto retryable = [](govern::BudgetKind kind) {
+    return kind == govern::BudgetKind::Work ||
+           kind == govern::BudgetKind::Memory;
+  };
+  const auto note_degradation = [&](govern::BudgetKind kind, Flow cheaper) {
+    degradations.push_back(std::string(flow_key(attempt.flow)) + "->" +
+                           flow_key(cheaper) + " [" + govern::to_string(kind) +
+                           "]");
+    reg.add_count("govern.degraded", 1);
+    reg.add_count(std::string("govern.degraded_to.") + flow_key(cheaper), 1);
+    attempt.flow = cheaper;
+  };
+  for (;;) {
+    gov.begin_attempt();
+    Flow cheaper{};
+    try {
+      AnalysisReport report = run_flow(layout, attempt);
+      const govern::BudgetKind kind = gov.cancel_kind();
+      if (report.waveform_truncated && retryable(kind) &&
+          next_cheaper(attempt.flow, opts.signal_net >= 0, cheaper)) {
+        reg.add_count(std::string("govern.budget_exceeded.") +
+                          govern::to_string(kind),
+                      1);
+        note_degradation(kind, cheaper);
+        continue;
+      }
+      report.requested_flow = opts.flow;
+      report.degradations = degradations;
+      if (report.waveform_truncated) {
+        reg.add_count("govern.truncated_waveforms", 1);
+        reg.add_count(std::string("govern.budget_exceeded.") +
+                          govern::to_string(kind),
+                      1);
+      }
+      publish_results(report);
+      gov.publish();
+      return report;
+    } catch (const govern::CancelledError& e) {
+      reg.add_count(
+          std::string("govern.budget_exceeded.") + govern::to_string(e.kind()),
+          1);
+      if (!retryable(e.kind()) ||
+          !next_cheaper(attempt.flow, opts.signal_net >= 0, cheaper)) {
+        gov.publish();
+        throw;
+      }
+      note_degradation(e.kind(), cheaper);
+    }
+  }
 }
 
 }  // namespace ind::core

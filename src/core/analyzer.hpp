@@ -64,7 +64,17 @@ struct AnalysisOptions {
 };
 
 struct AnalysisReport {
-  Flow flow = Flow::PeecRlcFull;
+  Flow flow = Flow::PeecRlcFull;            ///< flow actually delivered
+  /// Flow the caller asked for. Differs from `flow` when a resource budget
+  /// (IND_DEADLINE_MS / IND_MEM_BYTES / IND_WORK_BUDGET) cancelled the run
+  /// and the analyzer degraded down the Section-4 fidelity ladder.
+  Flow requested_flow = Flow::PeecRlcFull;
+  /// One entry per ladder step taken, e.g. "peec_rlc->peec_rlc_blockdiag
+  /// [work]". Empty when the requested flow ran to completion.
+  std::vector<std::string> degradations;
+  /// True when the transient was cancelled mid-integration: `time` /
+  /// `sink_waveforms` hold the prefix computed before the budget tripped.
+  bool waveform_truncated = false;
   circuit::Netlist::Counts counts;
   std::size_t unknowns = 0;        ///< MNA size (or reduced order for PRIMA)
   std::size_t reduced_order = 0;   ///< PRIMA only
@@ -82,9 +92,24 @@ struct AnalysisReport {
   la::Vector time;                           ///< transient time axis
   std::vector<la::Vector> sink_waveforms;    ///< per sink
   std::vector<std::string> sink_names;
+
+  /// Robustness diagnostics from the transient engine (condition estimates,
+  /// recovery actions, BudgetExceeded markers). Default-constructed for the
+  /// PRIMA/hierarchical co-simulation path, which has its own stepper.
+  robust::SolveReport solve_report;
 };
 
 /// Runs one flow on a layout whose drivers/receivers define the experiment.
+///
+/// The call is resource-governed: when a work or memory budget (see
+/// govern::RunBudget) cancels the run, the analyzer retries at the next
+/// cheaper Section-4 fidelity (dense PEEC -> block-diagonal -> shell ->
+/// truncation -> loop RL) and records every step in
+/// AnalysisReport::degradations. A deadline trip never retries — the time is
+/// already spent — so it surfaces as govern::CancelledError, or as a
+/// truncated waveform if it lands inside the transient stepper. Throws
+/// std::invalid_argument on degenerate layouts (no segments / drivers /
+/// receivers).
 AnalysisReport analyze(const geom::Layout& layout,
                        const AnalysisOptions& options);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "govern/budget.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
@@ -75,6 +76,16 @@ la::Matrix build_partial_inductance_matrix(
   runtime::parallel_for(
       n,
       [&](std::size_t i_begin, std::size_t i_end) {
+        // Budget poll at the chunk boundary. The unit charge is the chunk's
+        // pair count — a pure function of its row range, so the total over
+        // all chunks depends only on n and a work-budget trip decision is
+        // identical at any thread count. A tripped chunk bails before
+        // writing; the cancel token skips the chunks not yet started and
+        // the throw below discards the partial matrix.
+        const std::size_t pairs =
+            (i_end - i_begin) * n -
+            (i_end * (i_end - 1) - i_begin * (i_begin - 1)) / 2;
+        if (govern::checkpoint(pairs)) return;
         std::int64_t mutual_terms = 0;
         for (std::size_t i = i_begin; i < i_end; ++i) {
           l(i, i) = self_partial_inductance(
@@ -90,7 +101,9 @@ la::Matrix build_partial_inductance_matrix(
         }
         metrics.add_count("assemble.partial_l.mutual_terms", mutual_terms);
       },
-      {.grain = 4});
+      {.grain = 4,
+       .cancel = govern::Governor::instance().cancel_token()});
+  govern::throw_if_cancelled("extract.partial_l");
   return l;
 }
 

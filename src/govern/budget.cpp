@@ -1,0 +1,178 @@
+#include "govern/budget.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "govern/env.hpp"
+#include "govern/memory.hpp"
+#include "robust/fault_injection.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ind::govern {
+namespace {
+
+/// Peak resident set size in bytes (VmHWM from /proc/self/status), or 0
+/// where unavailable. Read only at publish time, never on the hot path.
+std::int64_t peak_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+/// One-time estimate of a checkpoint() call's cost, measured against dummy
+/// atomics (not by re-entering checkpoint(), which would perturb the
+/// counters it is estimating).
+std::int64_t checkpoint_cost_ns() {
+  static const std::int64_t per_call = [] {
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    constexpr int kIters = 16384;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      a.fetch_add(1, std::memory_order_relaxed);
+      b.fetch_add(1, std::memory_order_relaxed);
+      (void)a.load(std::memory_order_relaxed);
+      (void)b.load(std::memory_order_relaxed);
+    }
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return std::max<std::int64_t>(1, ns / kIters);
+  }();
+  return per_call;
+}
+
+}  // namespace
+
+const char* to_string(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::None: return "none";
+    case BudgetKind::Deadline: return "deadline";
+    case BudgetKind::Memory: return "memory";
+    case BudgetKind::Work: return "work";
+    case BudgetKind::External: return "external";
+  }
+  return "unknown";
+}
+
+RunBudget RunBudget::from_env() {
+  RunBudget b;
+  b.deadline_ms = env_ms("IND_DEADLINE_MS", 0).value;
+  b.mem_bytes = env_u64("IND_MEM_BYTES", 0).value;
+  b.work_units = env_u64("IND_WORK_BUDGET", 0).value;
+  return b;
+}
+
+Governor& Governor::instance() {
+  static Governor* gov = new Governor();  // never freed
+  return *gov;
+}
+
+Governor::Governor() : budget_(RunBudget::from_env()) {
+  runtime::MetricsRegistry::instance().add_snapshot_hook(
+      [this] { publish(); });
+}
+
+void Governor::configure(const RunBudget& budget) {
+  // Test hook: callers must not reconfigure while a governed run is in
+  // flight (checkpoint() reads budget_ without a lock).
+  budget_ = budget;
+  deadline_armed_.store(false, std::memory_order_release);
+}
+
+void Governor::begin_run() {
+  total_work_.fetch_add(work_.exchange(0, std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  token_.reset();
+  if (budget_.deadline_ms > 0) {
+    deadline_at_ = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(budget_.deadline_ms);
+    deadline_armed_.store(true, std::memory_order_release);
+  } else {
+    deadline_armed_.store(false, std::memory_order_release);
+  }
+}
+
+void Governor::begin_attempt() {
+  // New fidelity rung: fresh work counter and cancel cause, but the
+  // original deadline stands — degrading does not buy more wall-clock.
+  total_work_.fetch_add(work_.exchange(0, std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  token_.reset();
+}
+
+void Governor::cancel(BudgetKind kind) {
+  token_.cancel(static_cast<int>(kind));
+}
+
+std::uint64_t Governor::work_units() const {
+  return work_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Governor::deadline_margin_ms() const {
+  if (!deadline_armed_.load(std::memory_order_acquire)) return -1;
+  const auto margin = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline_at_ - std::chrono::steady_clock::now())
+                          .count();
+  return std::max<std::int64_t>(0, margin);
+}
+
+void Governor::publish() const {
+  auto& reg = runtime::MetricsRegistry::instance();
+  const auto set = [&reg](const char* name, std::int64_t v) {
+    reg.counter(name).value.store(v, std::memory_order_relaxed);
+  };
+  const std::int64_t checkpoints =
+      static_cast<std::int64_t>(checkpoints_.load(std::memory_order_relaxed));
+  set("govern.work_units",
+      static_cast<std::int64_t>(work_.load(std::memory_order_relaxed)));
+  set("govern.work_units_total",
+      static_cast<std::int64_t>(total_work_.load(std::memory_order_relaxed) +
+                                work_.load(std::memory_order_relaxed)));
+  set("govern.checkpoints", checkpoints);
+  set("govern.peak_tracked_bytes", peak_tracked_bytes());
+  set("govern.peak_rss_bytes", peak_rss_bytes());
+  set("govern.deadline_margin_ms", deadline_margin_ms());
+  set("govern.budget_armed", budget_.any() ? 1 : 0);
+  set("govern.overhead_est_ns", checkpoints * checkpoint_cost_ns());
+}
+
+bool checkpoint(std::uint64_t units) {
+  Governor& gov = Governor::instance();
+  gov.checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t work =
+      gov.work_.fetch_add(units, std::memory_order_relaxed) + units;
+  if (robust::fault::fire(robust::fault::Site::BudgetCheck))
+    gov.token_.cancel(static_cast<int>(BudgetKind::Work));
+  const RunBudget& b = gov.budget_;
+  if (b.work_units > 0 && work > b.work_units)
+    gov.token_.cancel(static_cast<int>(BudgetKind::Work));
+  if (b.mem_bytes > 0 &&
+      tracked_bytes() > static_cast<std::int64_t>(b.mem_bytes))
+    gov.token_.cancel(static_cast<int>(BudgetKind::Memory));
+  if (gov.deadline_armed_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= gov.deadline_at_)
+    gov.token_.cancel(static_cast<int>(BudgetKind::Deadline));
+  return gov.token_.cancelled();
+}
+
+void throw_if_cancelled(const char* where) {
+  Governor& gov = Governor::instance();
+  if (gov.cancelled()) throw CancelledError(gov.cancel_kind(), where);
+}
+
+}  // namespace ind::govern

@@ -1,0 +1,159 @@
+// Resource governance: run budgets, cooperative cancellation and the
+// checkpoint hook the long-running kernels poll.
+//
+// A RunBudget carries up to three independent limits:
+//   * deadline_ms  — wall-clock budget for the whole analyze() call
+//                    (IND_DEADLINE_MS). Armed by Governor::begin_run().
+//   * mem_bytes    — cap on govern::tracked_bytes(), the live dense/sparse
+//                    matrix footprint (IND_MEM_BYTES).
+//   * work_units   — cap on abstract work units accumulated by
+//                    govern::checkpoint() (IND_WORK_BUDGET). This is the
+//                    deterministic budget used by tests and CI.
+//
+// Determinism contract. checkpoint() is called only at deterministic chunk
+// boundaries — per parallel_for chunk with a unit count that is a pure
+// function of the chunk's index range, per factorisation column, per
+// transient step, per Arnoldi iteration. The work-unit total of a completed
+// stage is therefore a pure function of the problem shape, independent of
+// thread count or scheduling. A work budget trips iff the stage's running
+// total crosses the cap, and since every interleaving accumulates the same
+// multiset of unit counts, *whether* a stage trips is identical at any
+// thread count. After a trip the partial result is discarded and the ladder
+// re-runs the analysis at a cheaper fidelity with the work counter reset
+// (Governor::begin_attempt), so the delivered result is bitwise
+// reproducible. Deadline and memory budgets use the same machinery but are
+// inherently timing-dependent; only IND_WORK_BUDGET carries the bitwise
+// guarantee.
+//
+// Cost when idle: checkpoint() with no budget armed is two relaxed atomic
+// increments and three relaxed loads — no clock read, no lock. The
+// estimated total overhead is published as govern.overhead_est_ns so the
+// perf guard can enforce the <2% contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/cancel.hpp"
+
+namespace ind::govern {
+
+/// Why a run was cancelled. Values double as runtime::CancelToken causes
+/// (None must stay 0 == "not cancelled").
+enum class BudgetKind : int {
+  None = 0,
+  Deadline = 1,  ///< IND_DEADLINE_MS wall-clock deadline passed
+  Memory = 2,    ///< tracked matrix bytes exceeded IND_MEM_BYTES
+  Work = 3,      ///< deterministic work units exceeded IND_WORK_BUDGET
+  External = 4,  ///< cancelled from outside (embedding service shutdown)
+};
+
+const char* to_string(BudgetKind kind);
+
+struct RunBudget {
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+  std::uint64_t mem_bytes = 0;    ///< 0 = no memory cap
+  std::uint64_t work_units = 0;   ///< 0 = no work budget
+
+  bool any() const { return deadline_ms || mem_bytes || work_units; }
+
+  /// Reads IND_DEADLINE_MS / IND_MEM_BYTES / IND_WORK_BUDGET via the shared
+  /// env helpers (invalid values warn and count as unset).
+  static RunBudget from_env();
+};
+
+/// Thrown by instrumented kernels when the governor cancels mid-stage.
+/// core::analyze catches it at the ladder level and retries at a cheaper
+/// fidelity; it escapes an analyze() call only for deadline/external trips
+/// (retrying cannot recover elapsed wall-clock) or an exhausted ladder.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError(BudgetKind kind, const std::string& where)
+      : std::runtime_error(std::string("cancelled [") + to_string(kind) +
+                           "] in " + where),
+        kind_(kind) {}
+  BudgetKind kind() const { return kind_; }
+
+ private:
+  BudgetKind kind_;
+};
+
+/// Process-wide budget state. One governed analysis runs at a time (the
+/// repo's analyses are process-level operations; nested analyze() calls
+/// share the enclosing budget).
+class Governor {
+ public:
+  static Governor& instance();
+
+  /// Installs `budget` for subsequent runs (tests; production uses the env
+  /// knobs via from_env()). Does not arm the deadline — begin_run() does.
+  void configure(const RunBudget& budget);
+  const RunBudget& budget() const { return budget_; }
+
+  /// Starts a governed run: re-reads nothing, arms the deadline (if any),
+  /// zeroes the work counter and clears any stale cancellation.
+  void begin_run();
+
+  /// Starts a new fidelity attempt within a run: zeroes the work counter
+  /// and clears the cancel token but keeps the original deadline — a run
+  /// that is out of wall-clock time stays out of it.
+  void begin_attempt();
+
+  /// Records `kind` as the cancel cause (first cause wins).
+  void cancel(BudgetKind kind);
+
+  BudgetKind cancel_kind() const {
+    return static_cast<BudgetKind>(token_.kind());
+  }
+  bool cancelled() const { return token_.cancelled(); }
+
+  /// The token to pass through ParallelOptions.cancel in instrumented
+  /// kernels.
+  runtime::CancelToken* cancel_token() { return &token_; }
+
+  /// Work units accumulated since the last begin_run()/begin_attempt().
+  std::uint64_t work_units() const;
+
+  /// Milliseconds of deadline left (clamped at 0), or -1 when no deadline
+  /// is armed.
+  std::int64_t deadline_margin_ms() const;
+
+  /// Publishes the govern.* gauges (work units, heartbeat, peak tracked
+  /// bytes, peak RSS, deadline margin, overhead estimate) into the metrics
+  /// registry. Registered as a MetricsRegistry snapshot hook, so every
+  /// BENCH_*.json carries them.
+  void publish() const;
+
+ private:
+  friend bool checkpoint(std::uint64_t units);
+
+  Governor();
+
+  RunBudget budget_;
+  runtime::CancelToken token_;
+  std::atomic<std::uint64_t> work_{0};
+  /// Work of every finished run/attempt, process-cumulative. Published as
+  /// govern.work_units_total — this is what the CI degradation sweep sizes
+  /// IND_WORK_BUDGET fractions against.
+  std::atomic<std::uint64_t> total_work_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<bool> deadline_armed_{false};
+  std::chrono::steady_clock::time_point deadline_at_{};
+};
+
+/// The polling hook. Instrumented kernels call this at every deterministic
+/// chunk boundary with a unit count that is a pure function of the chunk;
+/// returns true when the run has been cancelled (by this call or earlier).
+/// Callers stop cleanly: parallel bodies return and let run_chunks skip the
+/// remaining chunks via the token; serial loops throw CancelledError or
+/// break to a truncated-result path.
+bool checkpoint(std::uint64_t units = 1);
+
+/// Throws CancelledError when the governor has been cancelled. Use after a
+/// parallel_for that may have drained early, or before starting an
+/// expensive stage.
+void throw_if_cancelled(const char* where);
+
+}  // namespace ind::govern

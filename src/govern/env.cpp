@@ -1,0 +1,91 @@
+#include "govern/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "runtime/metrics.hpp"
+
+namespace ind::govern {
+namespace {
+
+// Variables already warned about on stderr (warn once per process so a
+// misconfigured knob read in a loop does not flood the log; the counters
+// keep counting every occurrence).
+std::mutex g_warned_mutex;
+std::set<std::string>& warned_names() {
+  static std::set<std::string> names;
+  return names;
+}
+
+}  // namespace
+
+const char* to_string(EnvOutcome outcome) {
+  switch (outcome) {
+    case EnvOutcome::Unset: return "unset";
+    case EnvOutcome::Ok: return "ok";
+    case EnvOutcome::Clamped: return "clamped";
+    case EnvOutcome::Invalid: return "invalid";
+  }
+  return "unknown";
+}
+
+ParsedU64 parse_u64(const char* text) {
+  if (text == nullptr || *text == '\0') return {};
+  // Reject signs and whitespace up front: strtoull accepts "-1" (wrapping)
+  // and leading spaces, neither of which is a sane knob value.
+  if (*text == '-' || *text == '+' || *text == ' ' || *text == '\t') return {};
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return {};
+  return {true, static_cast<std::uint64_t>(v)};
+}
+
+void warn_env(const char* name, const char* raw, const std::string& what,
+              const char* counter_prefix, const char* counter) {
+  runtime::MetricsRegistry::instance().add_count(
+      std::string(counter_prefix) + "." + counter, 1);
+  bool first = false;
+  {
+    std::scoped_lock lock(g_warned_mutex);
+    first = warned_names().insert(name).second;
+  }
+  if (first)
+    std::fprintf(stderr, "warning [env-%s] %s='%s' %s\n", counter,
+                 name, raw == nullptr ? "" : raw, what.c_str());
+}
+
+EnvValue env_u64(const char* name, std::uint64_t fallback, std::uint64_t min,
+                 std::uint64_t max, const char* counter_prefix) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return {fallback, EnvOutcome::Unset};
+  const ParsedU64 p = parse_u64(raw);
+  if (!p.valid) {
+    warn_env(name, raw,
+             "is not an unsigned integer; using default " +
+                 std::to_string(fallback),
+             counter_prefix, "env_invalid");
+    return {fallback, EnvOutcome::Invalid};
+  }
+  if (p.value < min || p.value > max) {
+    const std::uint64_t clamped = p.value < min ? min : max;
+    warn_env(name, raw,
+             "is outside [" + std::to_string(min) + ", " +
+                 std::to_string(max) + "]; clamped to " +
+                 std::to_string(clamped),
+             counter_prefix, "env_clamped");
+    return {clamped, EnvOutcome::Clamped};
+  }
+  return {p.value, EnvOutcome::Ok};
+}
+
+EnvValue env_ms(const char* name, std::uint64_t fallback_ms,
+                std::uint64_t min_ms, std::uint64_t max_ms,
+                const char* counter_prefix) {
+  return env_u64(name, fallback_ms, min_ms, max_ms, counter_prefix);
+}
+
+}  // namespace ind::govern

@@ -1,0 +1,73 @@
+// Shared parsing for the IND_* environment knobs.
+//
+// Every knob used to hand-roll its own strtol call with silently-divergent
+// error handling (IND_THREADS clamped silently, IND_CACHE_MAX_BYTES accepted
+// any positive integer, garbage fell back to defaults with no diagnostic).
+// env_u64 / env_ms centralise the grammar and make every misconfiguration
+// visible: an invalid or out-of-range value emits one structured warning
+// line on stderr (once per variable per process) and bumps a
+// <prefix>.env_invalid / <prefix>.env_clamped counter, so the outcome lands
+// in BENCH_*.json next to everything else.
+//
+// This header compiles into ind_runtime (the lowest layer that has the
+// MetricsRegistry) even though it lives in the govern/ directory, so both
+// runtime/thread_pool.cpp and the higher govern/store layers share one
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ind::govern {
+
+enum class EnvOutcome {
+  Unset,    ///< variable absent or empty; fallback used, no diagnostic
+  Ok,       ///< parsed cleanly inside [min, max]
+  Clamped,  ///< parsed but out of range; clamped into [min, max], warned
+  Invalid,  ///< not a plain unsigned integer; fallback used, warned
+};
+
+const char* to_string(EnvOutcome outcome);
+
+struct EnvValue {
+  std::uint64_t value = 0;  ///< effective value (fallback unless set())
+  EnvOutcome outcome = EnvOutcome::Unset;
+
+  /// True when the variable supplied the value (possibly after clamping).
+  bool set() const {
+    return outcome == EnvOutcome::Ok || outcome == EnvOutcome::Clamped;
+  }
+};
+
+/// Raw text -> unsigned integer. Rejects empty strings, signs, trailing
+/// junk and overflow; `valid` is false for all of those.
+struct ParsedU64 {
+  bool valid = false;
+  std::uint64_t value = 0;
+};
+ParsedU64 parse_u64(const char* text);
+
+/// Reads and parses the environment variable `name` fresh on every call
+/// (callers that want a process-wide value cache the result themselves).
+/// Diagnostics go under `<counter_prefix>.env_invalid` /
+/// `<counter_prefix>.env_clamped` plus one stderr warning per variable:
+///   warning [env-invalid] IND_FOO='abc' is not an unsigned integer; ...
+EnvValue env_u64(const char* name, std::uint64_t fallback,
+                 std::uint64_t min = 0,
+                 std::uint64_t max = UINT64_MAX,
+                 const char* counter_prefix = "govern");
+
+/// env_u64 for millisecond-valued knobs (identical grammar; the name keeps
+/// call sites self-documenting).
+EnvValue env_ms(const char* name, std::uint64_t fallback_ms,
+                std::uint64_t min_ms = 0,
+                std::uint64_t max_ms = UINT64_MAX,
+                const char* counter_prefix = "govern");
+
+/// Emits the structured warning line for `name` at most once per process
+/// and bumps `<counter_prefix>.<counter>` every call. Exposed for knobs
+/// whose grammar is not plain u64 (IND_THREADS' "0 means auto").
+void warn_env(const char* name, const char* raw, const std::string& what,
+              const char* counter_prefix, const char* counter);
+
+}  // namespace ind::govern

@@ -1,0 +1,8 @@
+#include "govern/memory.hpp"
+
+namespace ind::govern::detail {
+
+std::atomic<std::int64_t> g_tracked_bytes{0};
+std::atomic<std::int64_t> g_peak_tracked_bytes{0};
+
+}  // namespace ind::govern::detail

@@ -1,0 +1,134 @@
+// Memory accounting for the numerical workhorse containers.
+//
+// The resource governor's memory budget (IND_MEM_BYTES) is enforced against
+// *tracked* bytes: the allocations that actually scale with problem size —
+// dense matrices (the PEEC partial-L block is O(n^2)) and the sparse
+// matrix / factor arrays. Tracking is two relaxed atomics per allocation
+// plus a compare-exchange peak update, cheap enough to stay on permanently;
+// govern::checkpoint() compares the current figure against the budget only
+// at deterministic chunk boundaries (budget.hpp explains why).
+//
+// Two hooks are provided:
+//   * TrackingAllocator — drop-in std::vector allocator; DenseMatrix uses it
+//     so every copy / move / resize is accounted automatically.
+//   * MemCharge — RAII byte charge for containers whose public API exposes
+//     plain std::vector references (CscMatrix, SparseLu) and therefore
+//     cannot swap allocators without rippling through every caller.
+//
+// This header is included from la/dense_matrix.hpp, the hottest header in
+// the tree: keep it free of anything heavier than <atomic>.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace ind::govern {
+
+namespace detail {
+extern std::atomic<std::int64_t> g_tracked_bytes;
+extern std::atomic<std::int64_t> g_peak_tracked_bytes;
+}  // namespace detail
+
+inline void mem_acquire(std::size_t bytes) {
+  const std::int64_t now =
+      detail::g_tracked_bytes.fetch_add(static_cast<std::int64_t>(bytes),
+                                        std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  std::int64_t peak =
+      detail::g_peak_tracked_bytes.load(std::memory_order_relaxed);
+  while (now > peak && !detail::g_peak_tracked_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+inline void mem_release(std::size_t bytes) {
+  detail::g_tracked_bytes.fetch_sub(static_cast<std::int64_t>(bytes),
+                                    std::memory_order_relaxed);
+}
+
+/// Currently tracked bytes across all live matrices / factors.
+inline std::int64_t tracked_bytes() {
+  return detail::g_tracked_bytes.load(std::memory_order_relaxed);
+}
+
+/// High-water mark of tracked_bytes() since process start (or the last
+/// reset_peak_tracked_bytes(), a test hook).
+inline std::int64_t peak_tracked_bytes() {
+  return detail::g_peak_tracked_bytes.load(std::memory_order_relaxed);
+}
+
+inline void reset_peak_tracked_bytes() {
+  detail::g_peak_tracked_bytes.store(tracked_bytes(),
+                                     std::memory_order_relaxed);
+}
+
+/// Minimal allocator that routes byte counts through mem_acquire/release.
+/// Stateless, so vectors with this allocator move / swap exactly like
+/// default-allocated ones.
+template <typename T>
+struct TrackingAllocator {
+  using value_type = T;
+  using is_always_equal = std::true_type;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    mem_acquire(n * sizeof(T));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    mem_release(n * sizeof(T));
+    ::operator delete(p);
+  }
+};
+
+template <typename T, typename U>
+inline bool operator==(const TrackingAllocator<T>&,
+                       const TrackingAllocator<U>&) noexcept {
+  return true;
+}
+template <typename T, typename U>
+inline bool operator!=(const TrackingAllocator<T>&,
+                       const TrackingAllocator<U>&) noexcept {
+  return false;
+}
+
+/// RAII byte charge for containers that cannot change allocator type.
+/// Copying a charged object charges again; moving transfers the charge.
+class MemCharge {
+ public:
+  MemCharge() = default;
+  explicit MemCharge(std::size_t bytes) : bytes_(bytes) { mem_acquire(bytes_); }
+  MemCharge(const MemCharge& o) : bytes_(o.bytes_) { mem_acquire(bytes_); }
+  MemCharge(MemCharge&& o) noexcept : bytes_(o.bytes_) { o.bytes_ = 0; }
+  MemCharge& operator=(const MemCharge& o) {
+    if (this != &o) set(o.bytes_);
+    return *this;
+  }
+  MemCharge& operator=(MemCharge&& o) noexcept {
+    if (this != &o) {
+      mem_release(bytes_);
+      bytes_ = o.bytes_;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~MemCharge() { mem_release(bytes_); }
+
+  /// Re-charges to `bytes` (e.g. after a refactorisation changed fill).
+  void set(std::size_t bytes) {
+    mem_release(bytes_);
+    bytes_ = bytes;
+    mem_acquire(bytes_);
+  }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ind::govern

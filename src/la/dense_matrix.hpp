@@ -11,6 +11,8 @@
 #include <initializer_list>
 #include <vector>
 
+#include "govern/memory.hpp"
+
 namespace ind::la {
 
 using Complex = std::complex<double>;
@@ -145,7 +147,10 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<T> data_;
+  // Tracked allocator: dense matrices dominate the memory footprint (the
+  // partial-inductance block is O(n^2)), so their bytes feed the governor's
+  // IND_MEM_BYTES accounting. data()/operator() still hand out plain T*.
+  std::vector<T, govern::TrackingAllocator<T>> data_;
 };
 
 using Matrix = DenseMatrix<double>;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "govern/budget.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
@@ -48,6 +49,12 @@ LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
   }
 
   for (std::size_t k = 0; k < n; ++k) {
+    // Budget poll, one per eliminated column with the trailing row count as
+    // the unit charge — the run total n(n+1)/2 depends only on n, so a
+    // work-budget trip is bitwise deterministic. CancelledError passes
+    // through the recovery ladder (it catches only SingularMatrixError).
+    if (govern::checkpoint(n - k))
+      govern::throw_if_cancelled("lu.factor");
     // Partial pivoting: pick the largest magnitude in column k.
     std::size_t pivot = k;
     double best = magnitude(lu_(k, k));

@@ -25,6 +25,7 @@ CscMatrix::CscMatrix(std::size_t rows, std::size_t cols,
     throw std::invalid_argument("CscMatrix: inconsistent compressed arrays");
   for (std::size_t r : row_idx_)
     if (r >= rows_) throw std::invalid_argument("CscMatrix: row out of range");
+  recharge();
 }
 
 CscMatrix::CscMatrix(const TripletMatrix& t) : rows_(t.rows()), cols_(t.cols()) {
@@ -71,6 +72,7 @@ CscMatrix::CscMatrix(const TripletMatrix& t) : rows_(t.rows()), cols_(t.cols()) 
     new_ptr[j + 1] = row_idx_.size();
   }
   col_ptr_ = std::move(new_ptr);
+  recharge();
 }
 
 Vector CscMatrix::apply(const Vector& x) const {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "govern/memory.hpp"
 #include "la/dense_matrix.hpp"
 
 namespace ind::la {
@@ -73,10 +74,19 @@ class CscMatrix {
   Matrix to_dense() const;
 
  private:
+  void recharge() {
+    charge_.set((col_ptr_.size() + row_idx_.size()) * sizeof(std::size_t) +
+                values_.size() * sizeof(double));
+  }
+
   std::size_t rows_ = 0, cols_ = 0;
   std::vector<std::size_t> col_ptr_;  // size cols+1
   std::vector<std::size_t> row_idx_;  // size nnz
   std::vector<double> values_;        // size nnz
+  // The accessors above expose plain std::vector references, so the memory
+  // governor accounts these arrays via an RAII charge instead of a tracked
+  // allocator (copying charges again; moving transfers the charge).
+  govern::MemCharge charge_;
 };
 
 }  // namespace ind::la

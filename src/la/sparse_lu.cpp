@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "govern/budget.hpp"
 #include "la/amd.hpp"
 #include "runtime/metrics.hpp"
 
@@ -112,6 +113,12 @@ bool SparseLu::factor_impl(const CscMatrix& a) {
   }
 
   for (std::size_t k = 0; k < n_; ++k) {
+    // Budget poll every 64 columns: the unit total is a pure function of n
+    // (the factorisation is serial), so a work-budget trip here is
+    // deterministic. CancelledError propagates past the recovery ladder
+    // (which catches only SingularMatrixError) to the degradation ladder.
+    if ((k & 63u) == 0 && govern::checkpoint(64))
+      govern::throw_if_cancelled("sparse_lu.factor");
     const std::size_t j = order[k];
     const std::size_t* pat = nullptr;
     std::size_t pat_size = 0;
@@ -233,6 +240,14 @@ bool SparseLu::factor_impl(const CscMatrix& a) {
   if constexpr (!kReuse) {
     if (reach_ptr.empty()) reach_ptr.push_back(0);  // n == 0
   }
+  std::size_t bytes = diag_.size() * sizeof(double);
+  for (const Col& c : lower_)
+    bytes += c.rows.size() * sizeof(std::size_t) +
+             c.vals.size() * sizeof(double);
+  for (const Col& c : upper_)
+    bytes += c.rows.size() * sizeof(std::size_t) +
+             c.vals.size() * sizeof(double);
+  charge_.set(bytes);
   return true;
 }
 

@@ -120,6 +120,9 @@ class SparseLu {
   // Workspaces kept across refactorisations to avoid reallocation.
   std::vector<double> x_;
   std::vector<std::size_t> pinv_, mark_;
+  // Memory-governor charge for the L/U fill arrays (set after each
+  // successful numeric sweep; see govern/memory.hpp).
+  govern::MemCharge charge_;
 };
 
 }  // namespace ind::la

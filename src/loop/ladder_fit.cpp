@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "govern/budget.hpp"
 #include "la/lu.hpp"
 #include "robust/fault_injection.hpp"
 
@@ -60,6 +61,16 @@ LadderModel fit_ladder(const LoopImpedance& low, const LoopImpedance& high) {
   double l1 = std::max(dl * 2.0, t0 * r1);
   bool converged = false;
   for (int it = 0; it < 200; ++it) {
+    // Budget poll per Newton iteration. A trip ends the fit gracefully at
+    // the last iterate: the post-loop feasibility/convergence checks turn
+    // it into the series-RL fallback or a NonConverged result — usable
+    // parameters either way, never a throw from the cheapest rung.
+    if (govern::checkpoint(1)) {
+      m.report.raise_status(robust::SolveStatus::NonConverged);
+      m.report.add_action(robust::RecoveryKind::BudgetExceeded, 0, 0.0,
+                          "ladder fit iteration " + std::to_string(it));
+      break;
+    }
     double f1, f2;
     residual(r1, l1, f1, f2);
     if (tol_met(f1, f2)) {
@@ -252,7 +263,17 @@ MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
   la::Vector r = residuals(p);
   double cost = la::dot(r, r);
   double lambda = 1e-3;
+  try {
   for (int iter = 0; iter < 120; ++iter) {
+    // Budget poll per LM iteration; a trip returns the best iterate so far
+    // as a NonConverged fit (the catch below also absorbs a CancelledError
+    // thrown by the normal-equation LU, which polls on its own).
+    if (govern::checkpoint(1)) {
+      m.report.raise_status(robust::SolveStatus::NonConverged);
+      m.report.add_action(robust::RecoveryKind::BudgetExceeded, 0, 0.0,
+                          "multi-ladder LM iteration " + std::to_string(iter));
+      break;
+    }
     // Numerical Jacobian.
     la::Matrix j(nr, np);
     for (std::size_t c = 0; c < np; ++c) {
@@ -300,6 +321,12 @@ MultiLadderModel fit_ladder_multi(const std::vector<LoopImpedance>& sweep,
       }
     }
     if (!stepped || cost < 1e-20) break;
+  }
+  } catch (const govern::CancelledError& e) {
+    m.report.raise_status(robust::SolveStatus::NonConverged);
+    m.report.add_action(robust::RecoveryKind::BudgetExceeded, 0, 0.0,
+                        std::string("multi-ladder fit cancelled [") +
+                            govern::to_string(e.kind()) + "]");
   }
 
   MultiLadderModel out = unpack(p);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "govern/budget.hpp"
 #include "la/lu.hpp"
 #include "la/qr.hpp"
 #include "robust/fault_injection.hpp"
@@ -77,6 +78,11 @@ ReducedModel prima_reduce(const la::Matrix& g, const la::Matrix& c,
   std::int64_t krylov_iterations = 0;
   guard_block(block, b, krylov_iterations);
   while (basis.cols() < opts.max_order && block.cols() > 0) {
+    // Budget poll per Arnoldi iteration, charged at the state dimension
+    // (the iteration's solve cost scales with n). The loop is serial, so a
+    // work-budget trip is deterministic.
+    if (govern::checkpoint(n))
+      govern::throw_if_cancelled("prima.arnoldi");
     ++krylov_iterations;
     const la::QrResult qr =
         la::orthonormalize_against(block, basis, opts.deflation_tol);

@@ -28,6 +28,7 @@ const char* to_string(RecoveryKind kind) {
     case RecoveryKind::KrylovDeflation: return "krylov_deflate";
     case RecoveryKind::DampedRestart: return "damped_restart";
     case RecoveryKind::ArtifactRecompute: return "artifact_recompute";
+    case RecoveryKind::BudgetExceeded: return "budget_exceeded";
   }
   return "unknown";
 }

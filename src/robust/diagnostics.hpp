@@ -38,6 +38,7 @@ enum class RecoveryKind {
   KrylovDeflation,      ///< dropped a non-finite Krylov block column
   DampedRestart,        ///< Levenberg-Marquardt damping of a Newton step
   ArtifactRecompute,    ///< corrupt cached artifact discarded; recomputed
+  BudgetExceeded,       ///< resource budget tripped; degraded or truncated
 };
 
 const char* to_string(SolveStatus status);

@@ -33,8 +33,9 @@ enum class Site {
   KrylovBlock,     ///< a PRIMA Krylov block column comes back non-finite
   LadderJacobian,  ///< the ladder-fit Newton Jacobian appears singular
   StoreRead,       ///< a cached artifact read is treated as corrupt
+  BudgetCheck,     ///< a govern::checkpoint() behaves as if the budget tripped
 };
-inline constexpr int kSiteCount = 6;
+inline constexpr int kSiteCount = 7;
 
 namespace detail {
 extern std::atomic<bool> g_active;

@@ -23,6 +23,20 @@ std::string seg_location(std::size_t index, const geom::Segment& s) {
 ValidationReport validate(const geom::Layout& layout) {
   ValidationReport report;
 
+  // Degenerate experiments. No segments at all is an error (nothing to
+  // extract); missing drivers/receivers are warnings here because bare-metal
+  // extraction runs are legitimate — core::analyze, whose flows all need a
+  // transition and a measurement, refuses them outright.
+  if (layout.segments().empty())
+    report.add(Severity::Error, "empty-layout", "layout has no segments",
+               "layout");
+  if (layout.drivers().empty())
+    report.add(Severity::Warning, "no-drivers",
+               "layout has no drivers; no transition to simulate", "layout");
+  if (layout.receivers().empty())
+    report.add(Severity::Warning, "no-receivers",
+               "layout has no receiver pins; nothing to measure", "layout");
+
   const auto& segs = layout.segments();
   for (std::size_t i = 0; i < segs.size(); ++i) {
     const geom::Segment& s = segs[i];

@@ -1,0 +1,46 @@
+// Cooperative cancellation primitive shared by the runtime and the resource
+// governor.
+//
+// A CancelToken is a single atomic "cancel cause" slot: 0 means "keep
+// going", any non-zero value identifies why the run should stop (the
+// governor maps its BudgetKind enum onto these values; the runtime layer
+// deliberately knows nothing about that enum). The first cancel() wins —
+// later causes do not overwrite the original one, so diagnostics always
+// report the trip that actually happened first.
+//
+// Cancellation is opt-in per call site: parallel_for only observes a token
+// when ParallelOptions.cancel points at one. A kernel that has not been
+// instrumented for clean early exit never sees skipped chunks and is
+// bitwise unaffected by this header existing.
+#pragma once
+
+#include <atomic>
+
+namespace ind::runtime {
+
+class CancelToken {
+ public:
+  /// True once any cause has been recorded.
+  bool cancelled() const {
+    return kind_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The first recorded cause, or 0 when not cancelled.
+  int kind() const { return kind_.load(std::memory_order_relaxed); }
+
+  /// Records `kind` (must be non-zero) as the cancel cause; first caller
+  /// wins, later calls are no-ops.
+  void cancel(int kind) {
+    int expected = 0;
+    kind_.compare_exchange_strong(expected, kind, std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token for the next attempt. Callers must ensure no worker
+  /// is still observing the token (parallel_for has returned).
+  void reset() { kind_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> kind_{0};
+};
+
+}  // namespace ind::runtime

@@ -74,7 +74,16 @@ void MetricsRegistry::reset() {
     c->value.store(0, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::add_snapshot_hook(std::function<void()> hook) {
+  std::unique_lock lock(hooks_mutex_);
+  hooks_.push_back(std::move(hook));
+}
+
 std::string MetricsRegistry::to_json() const {
+  {
+    std::shared_lock hooks_lock(hooks_mutex_);
+    for (const auto& hook : hooks_) hook();
+  }
   std::shared_lock lock(mutex_);
   std::ostringstream os;
   os.imbue(std::locale::classic());

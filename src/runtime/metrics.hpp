@@ -17,11 +17,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ind::runtime {
 
@@ -54,6 +56,13 @@ class MetricsRegistry {
   /// Zeroes every timer and counter (slots are kept).
   void reset();
 
+  /// Registers a callback invoked at the start of every to_json() (before
+  /// the registry lock is taken, so hooks may call add_count/max_count).
+  /// Higher layers use this to publish point-in-time gauges — peak memory,
+  /// deadline margin — without the registry depending on them. Hooks live
+  /// for the process lifetime.
+  void add_snapshot_hook(std::function<void()> hook);
+
   /// Snapshot as a JSON object:
   ///   {"timers": {name: {"count": N, "total_ms": X}, ...},
   ///    "counters": {name: N, ...}}
@@ -66,6 +75,8 @@ class MetricsRegistry {
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
   std::map<std::string, std::unique_ptr<CounterStat>, std::less<>> counters_;
+  mutable std::shared_mutex hooks_mutex_;
+  std::vector<std::function<void()>> hooks_;
 };
 
 /// Accumulates the enclosing scope's wall-clock time into a named timer.

@@ -39,11 +39,15 @@ std::size_t chunk_count(std::size_t n, const ParallelOptions& opts) {
 
 void run_chunks(std::size_t n_chunks,
                 const std::function<void(std::size_t)>& body,
-                ThreadPool* pool_opt) {
+                const ParallelOptions& opts) {
   if (n_chunks == 0) return;
-  ThreadPool& pool = resolve_pool(pool_opt);
+  CancelToken* const cancel = opts.cancel;
+  ThreadPool& pool = resolve_pool(opts.pool);
   if (n_chunks == 1 || pool.size() <= 1 || ThreadPool::on_worker_thread()) {
-    for (std::size_t c = 0; c < n_chunks; ++c) body(c);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      body(c);
+    }
     return;
   }
 
@@ -52,8 +56,12 @@ void run_chunks(std::size_t n_chunks,
       std::min<std::size_t>(pool.size(), n_chunks - 1);
   state->alive = n_helpers;
 
-  auto drain = [&body, n_chunks](BatchState& st) {
+  auto drain = [&body, n_chunks, cancel](BatchState& st) {
     for (;;) {
+      // A fired token stops this worker before it claims another chunk;
+      // chunks already in flight on other workers run to completion, so
+      // every chunk either fully ran or never started.
+      if (cancel != nullptr && cancel->cancelled()) return;
       const std::size_t c = st.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= n_chunks) return;
       try {
@@ -84,6 +92,7 @@ void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   const ParallelOptions& opts) {
   if (n == 0) return;
+  if (opts.cancel != nullptr && opts.cancel->cancelled()) return;
   const std::size_t chunks = detail::chunk_count(n, opts);
   if (chunks <= 1 || ThreadPool::on_worker_thread()) {
     body(0, n);
@@ -95,7 +104,7 @@ void parallel_for(std::size_t n,
         body(detail::chunk_begin(c, chunks, n),
              detail::chunk_begin(c + 1, chunks, n));
       },
-      opts.pool);
+      opts);
 }
 
 void parallel_for_2d(std::size_t rows, std::size_t cols,
@@ -103,6 +112,7 @@ void parallel_for_2d(std::size_t rows, std::size_t cols,
                                               std::size_t, std::size_t)>& body,
                      const ParallelOptions& opts) {
   if (rows == 0 || cols == 0) return;
+  if (opts.cancel != nullptr && opts.cancel->cancelled()) return;
   if (ThreadPool::on_worker_thread()) {
     body(0, rows, 0, cols);
     return;
@@ -132,7 +142,7 @@ void parallel_for_2d(std::size_t rows, std::size_t cols,
              detail::chunk_begin(cc, col_chunks, cols),
              detail::chunk_begin(cc + 1, col_chunks, cols));
       },
-      opts.pool);
+      opts);
 }
 
 }  // namespace ind::runtime

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "runtime/cancel.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ind::runtime {
@@ -37,6 +38,12 @@ struct ParallelOptions {
   /// count. parallel_reduce sets this so non-associative reductions are
   /// reproducible across thread counts.
   bool chunks_by_grain_only = false;
+  /// Optional cooperative-cancellation token. When set and the token fires,
+  /// remaining chunks are skipped (in-flight chunks finish) and the loop
+  /// returns early — the partial result is then incomplete, so only call
+  /// sites that check the token afterwards and discard the work may pass
+  /// one. nullptr (the default) preserves run-to-completion semantics.
+  CancelToken* cancel = nullptr;
 };
 
 /// Calls body(begin, end) over disjoint subranges covering [0, n).
@@ -58,10 +65,11 @@ namespace detail {
 std::size_t chunk_count(std::size_t n, const ParallelOptions& opts);
 
 /// Runs body(chunk_index) for chunk_index in [0, n_chunks) on the pool,
-/// caller participating; rethrows the first captured exception.
+/// caller participating; rethrows the first captured exception. When
+/// opts.cancel fires, chunks not yet started are skipped.
 void run_chunks(std::size_t n_chunks,
                 const std::function<void(std::size_t)>& body,
-                ThreadPool* pool);
+                const ParallelOptions& opts);
 
 inline std::size_t chunk_begin(std::size_t chunk, std::size_t n_chunks,
                                std::size_t n) {
@@ -87,9 +95,12 @@ T parallel_reduce(std::size_t n, T init, MapFn&& map, CombineFn&& combine,
         partials[c] = map(detail::chunk_begin(c, chunks, n),
                           detail::chunk_begin(c + 1, chunks, n));
       },
-      opts.pool);
+      opts);
   T acc = std::move(init);
-  for (auto& p : partials) acc = combine(std::move(acc), std::move(*p));
+  // Chunks skipped by a fired cancel token leave their optional empty; the
+  // cancelled partial reduction is discarded by the caller anyway.
+  for (auto& p : partials)
+    if (p.has_value()) acc = combine(std::move(acc), std::move(*p));
   return acc;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "govern/env.hpp"
+
 namespace ind::runtime {
 namespace {
 
@@ -52,11 +54,26 @@ void ThreadPool::worker_loop(const std::stop_token& stop) {
 
 unsigned parse_thread_count(const char* text) {
   if (text == nullptr || *text == '\0') return 0;
-  char* end = nullptr;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0') return 0;
-  if (v <= 0) return 0;
-  return static_cast<unsigned>(std::min(v, 256L));
+  const govern::ParsedU64 p = govern::parse_u64(text);
+  if (!p.valid) {
+    govern::warn_env("IND_THREADS", text,
+                     "is not an unsigned integer; using auto thread count",
+                     "runtime", "env_invalid");
+    return 0;
+  }
+  if (p.value == 0) {
+    govern::warn_env("IND_THREADS", text,
+                     "requests 0 threads; 0 means auto (hardware concurrency)",
+                     "runtime", "env_auto");
+    return 0;
+  }
+  if (p.value > 256) {
+    govern::warn_env("IND_THREADS", text,
+                     "exceeds the 256-thread cap; clamping to 256", "runtime",
+                     "env_clamped");
+    return 256;
+  }
+  return static_cast<unsigned>(p.value);
 }
 
 unsigned configured_threads() {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "govern/env.hpp"
 #include "robust/fault_injection.hpp"
 #include "runtime/metrics.hpp"
 
@@ -27,13 +28,10 @@ ArtifactCache& ArtifactCache::instance() {
 ArtifactCache::ArtifactCache() {
   const char* dir = std::getenv("IND_CACHE_DIR");
   if (dir == nullptr || *dir == '\0') return;
-  std::uint64_t cap = kDefaultMaxBytes;
-  if (const char* env_cap = std::getenv("IND_CACHE_MAX_BYTES")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env_cap, &end, 10);
-    if (end != env_cap && *end == '\0' && v > 0) cap = v;
-  }
-  configure(dir, cap);
+  const govern::EnvValue cap =
+      govern::env_u64("IND_CACHE_MAX_BYTES", kDefaultMaxBytes, kMinConfigBytes,
+                      kMaxConfigBytes, "store");
+  configure(dir, cap.value);
 }
 
 void ArtifactCache::configure(std::string dir, std::uint64_t max_bytes) {

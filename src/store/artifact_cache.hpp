@@ -61,6 +61,11 @@ class ArtifactCache {
   void configure(std::string dir, std::uint64_t max_bytes = kDefaultMaxBytes);
 
   static constexpr std::uint64_t kDefaultMaxBytes = 1ULL << 30;  // 1 GiB
+  /// IND_CACHE_MAX_BYTES outside [1 MiB, 1 TiB] is a misconfiguration, not a
+  /// request: a sub-MiB cap evicts every artifact as it lands, a multi-TiB
+  /// cap is almost certainly a units mistake. Values clamp with a warning.
+  static constexpr std::uint64_t kMinConfigBytes = 1ULL << 20;  // 1 MiB
+  static constexpr std::uint64_t kMaxConfigBytes = 1ULL << 40;  // 1 TiB
 
  private:
   ArtifactCache();

@@ -1,5 +1,6 @@
 #include "store/flows.hpp"
 
+#include "govern/budget.hpp"
 #include "runtime/metrics.hpp"
 #include "sparsify/kmatrix.hpp"
 #include "store/artifact_cache.hpp"
@@ -258,6 +259,9 @@ namespace {
 template <typename T, typename Compute, typename Put, typename Get>
 T cached(const char* kind, const Digest& fp, Compute compute, Put put_fn,
          Get get_fn) {
+  // An already-cancelled run must not start a compute just to populate the
+  // cache; the degradation ladder handles the throw.
+  govern::throw_if_cancelled(kind);
   ArtifactCache& cache = ArtifactCache::instance();
   robust::SolveReport report;
   if (auto artifact = cache.load(kind, fp, &report)) {
@@ -269,6 +273,12 @@ T cached(const char* kind, const Digest& fp, Compute compute, Put put_fn,
     return value;
   }
   T value = compute();
+  // A compute that ran to completion under a fired token may still be
+  // partial (a parallel stage skipped chunks): never persist it.
+  if (govern::Governor::instance().cancelled()) {
+    runtime::MetricsRegistry::instance().add_count("store.save_skipped", 1);
+    return value;
+  }
   Artifact a;
   a.kind = kind;
   a.fingerprint = fp;

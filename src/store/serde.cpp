@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "govern/budget.hpp"
 #include "runtime/metrics.hpp"
 #include "store/artifact_cache.hpp"
 
@@ -453,6 +454,12 @@ extract::Extraction cached_extraction(const geom::Layout& layout,
     return x;
   }
   extract::Extraction x = extract::extract(layout, opts);
+  // A fired cancel token means a parallel assembly stage may have skipped
+  // chunks — the extraction could be partial, so it must not be persisted.
+  if (govern::Governor::instance().cancelled()) {
+    runtime::MetricsRegistry::instance().add_count("store.save_skipped", 1);
+    return x;
+  }
   Artifact a;
   a.kind = "extraction";
   a.fingerprint = fp;

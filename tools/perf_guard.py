@@ -19,12 +19,15 @@ import sys
 GUARDED_PREFIXES = ("factor.", "solve.")
 
 
-def guarded_total_ms(path):
+def load_metrics(path):
     with open(path) as f:
         report = json.load(f)
     # Bench reports nest timers under "metrics"; accept a bare registry
     # snapshot too so the tool works on hand-captured files.
-    metrics = report.get("metrics", report)
+    return report.get("metrics", report)
+
+
+def guarded_total_ms(metrics):
     timers = metrics.get("timers", {})
     picked = {
         name: stat["total_ms"]
@@ -32,6 +35,29 @@ def guarded_total_ms(path):
         if name.startswith(GUARDED_PREFIXES)
     }
     return sum(picked.values()), picked
+
+
+def govern_overhead_check(metrics, solver_ms, max_fraction):
+    """Fails when the governance checkpoints cost more than `max_fraction`
+    of the solver time while no budget was armed — the idle-overhead
+    contract from govern/budget.hpp."""
+    counters = metrics.get("counters", {})
+    if counters.get("govern.budget_armed", 0) != 0:
+        print("perf_guard: budget armed in this run; overhead gate skipped")
+        return 0
+    overhead_ms = counters.get("govern.overhead_est_ns", 0) / 1e6
+    if solver_ms <= 0.0:
+        return 0
+    fraction = overhead_ms / solver_ms
+    print(f"perf_guard: govern overhead {overhead_ms:.2f} ms over "
+          f"{solver_ms:.1f} ms solver time "
+          f"({fraction * 100.0:.2f}%, limit {max_fraction * 100.0:.0f}%)")
+    if fraction > max_fraction:
+        print(f"perf_guard: FAIL — governance checkpoints cost "
+              f"{fraction * 100.0:.1f}% of factor+solve with no budget set",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main():
@@ -44,10 +70,21 @@ def main():
         default=1.25,
         help="fail when current/baseline exceeds this (default 1.25)",
     )
+    parser.add_argument(
+        "--max-govern-overhead",
+        type=float,
+        default=0.02,
+        help="fail when estimated govern.* checkpoint cost exceeds this "
+        "fraction of factor+solve time in an unbudgeted run (default 0.02)",
+    )
     args = parser.parse_args()
 
-    current_ms, current = guarded_total_ms(args.current)
-    baseline_ms, baseline = guarded_total_ms(args.baseline)
+    current_metrics = load_metrics(args.current)
+    current_ms, current = guarded_total_ms(current_metrics)
+    baseline_ms, baseline = guarded_total_ms(load_metrics(args.baseline))
+    if govern_overhead_check(current_metrics, current_ms,
+                             args.max_govern_overhead):
+        return 1
     if baseline_ms <= 0.0:
         print("perf_guard: baseline has no factor.*/solve.* timers; skipping")
         return 0
