@@ -11,6 +11,7 @@
 #include "core/report.hpp"
 #include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
+#include "serve/codec.hpp"
 
 using namespace ind;
 using geom::um;
@@ -41,14 +42,10 @@ int main() {
   std::printf("clock net: %zu sinks, grid: %zu straps\n\n",
               layout.receivers().size(), layout.segments().size());
 
-  core::AnalysisOptions opts;
+  core::AnalysisOptions opts = serve::options_from_spec(
+      "seg_um=175 decap_sites=16 t_stop=1.2e-9 dt=2e-12 "
+      "loop_seg_um=175 loop_extract_um=175");
   opts.signal_net = clk;
-  opts.peec.max_segment_length = um(175);
-  opts.peec.decap.sites = 16;
-  opts.transient.t_stop = 1.2e-9;
-  opts.transient.dt = 2e-12;
-  opts.loop.extraction.max_segment_length = um(175);
-  opts.loop.max_segment_length = um(175);
 
   std::vector<std::vector<std::string>> rows;
   core::AnalysisReport rlc;

@@ -14,6 +14,7 @@
 #include "design/significance.hpp"
 #include "geom/topologies.hpp"
 #include "runtime/bench_report.hpp"
+#include "serve/codec.hpp"
 
 using namespace ind;
 using geom::um;
@@ -128,12 +129,9 @@ int main() {
         design::extract_line_parameters(v.layout, v.net, 2e9, lopts);
     const auto sig = design::inductance_significance(line, 30e-12);
 
-    core::AnalysisOptions opts;
+    core::AnalysisOptions opts = serve::options_from_spec(
+        "flow=peec_rlc seg_um=200 t_stop=1.2e-9 dt=2e-12");
     opts.signal_net = v.net;
-    opts.flow = core::Flow::PeecRlcFull;
-    opts.peec.max_segment_length = um(200);
-    opts.transient.t_stop = 1.2e-9;
-    opts.transient.dt = 2e-12;
     core::AnalysisReport rep;
     try {
       rep = core::analyze(v.layout, opts);

@@ -10,6 +10,7 @@
 #include "geom/topologies.hpp"
 #include "govern/budget.hpp"
 #include "runtime/bench_report.hpp"
+#include "serve/codec.hpp"
 
 using namespace ind;
 using geom::um;
@@ -36,20 +37,17 @@ int main() {
 
   // 2. Analyze the same layout with the RC model and the detailed PEEC RLC
   //    model (Section 3 of the paper).
-  core::AnalysisOptions opts;
+  core::AnalysisOptions opts = serve::options_from_spec(
+      "seg_um=100 t_stop=1.5e-9 dt=2e-12 loop_extract_um=100");
   opts.signal_net = placed.signal_net;
-  opts.peec.max_segment_length = um(100);
-  opts.transient.t_stop = 1.5e-9;
-  opts.transient.dt = 2e-12;
 
   core::AnalysisReport rc, rlc, loop;
   try {
-    opts.flow = core::Flow::PeecRc;
+    serve::apply_option_spec(opts, "flow=peec_rc");
     rc = core::analyze(layout, opts);
-    opts.flow = core::Flow::PeecRlcFull;
+    serve::apply_option_spec(opts, "flow=peec_rlc");
     rlc = core::analyze(layout, opts);
-    opts.flow = core::Flow::LoopRlc;
-    opts.loop.extraction.max_segment_length = um(100);
+    serve::apply_option_spec(opts, "flow=loop_rlc");
     loop = core::analyze(layout, opts);
   } catch (const govern::CancelledError& e) {
     // A deadline/external cancellation (IND_DEADLINE_MS) is a normal

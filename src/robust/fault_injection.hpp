@@ -34,8 +34,9 @@ enum class Site {
   LadderJacobian,  ///< the ladder-fit Newton Jacobian appears singular
   StoreRead,       ///< a cached artifact read is treated as corrupt
   BudgetCheck,     ///< a govern::checkpoint() behaves as if the budget tripped
+  ServeRead,       ///< a serve request frame is treated as malformed
 };
-inline constexpr int kSiteCount = 7;
+inline constexpr int kSiteCount = 8;
 
 namespace detail {
 extern std::atomic<bool> g_active;

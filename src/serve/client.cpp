@@ -1,0 +1,161 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "store/format.hpp"
+
+namespace ind::serve {
+
+void Client::connect_tcp(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("serve client: bad address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    close();
+    throw std::runtime_error(std::string("serve client: connect ") + host +
+                             ":" + std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  handshake();
+}
+
+void Client::connect_uds(const std::string& path) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    close();
+    throw std::runtime_error("serve client: socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    close();
+    throw std::runtime_error(std::string("serve client: connect ") + path +
+                             ": " + std::strerror(err));
+  }
+  handshake();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  server_id_.clear();
+}
+
+void Client::handshake() {
+  if (!write_frame(fd_, make_hello())) {
+    close();
+    throw std::runtime_error("serve client: server closed during handshake");
+  }
+  const auto ack = read_frame(fd_, kDefaultMaxFrameBytes);
+  if (!ack) {
+    close();
+    throw std::runtime_error("serve client: server closed during handshake");
+  }
+  if (ack->type == FrameType::Error) {
+    const ErrorInfo info = decode_error(ack->payload);
+    close();
+    throw ProtocolError(info.code, "serve client: handshake rejected [" +
+                                       std::string(to_string(info.code)) +
+                                       "]: " + info.detail);
+  }
+  if (ack->type != FrameType::HelloAck) {
+    close();
+    throw ProtocolError(ErrorCode::MalformedFrame,
+                        "serve client: unexpected handshake reply");
+  }
+  store::ByteReader r(ack->payload);
+  const std::uint32_t version = r.u32();
+  if (version != kProtocolVersion) {
+    close();
+    throw ProtocolError(ErrorCode::VersionMismatch,
+                        "serve client: server protocol version " +
+                            std::to_string(version));
+  }
+  server_id_ = r.str();
+}
+
+bool Client::send_request(std::uint64_t request_id, const Request& req) {
+  Frame f;
+  f.type = FrameType::AnalyzeRequest;
+  store::ByteWriter w;
+  w.u64(request_id);
+  put_request(w, req);
+  f.payload = w.take();
+  return write_frame(fd_, f);
+}
+
+Reply Client::read_reply() {
+  const auto frame = read_frame(fd_, kDefaultMaxFrameBytes);
+  if (!frame)
+    throw std::runtime_error("serve client: connection closed by server");
+  Reply reply;
+  switch (frame->type) {
+    case FrameType::AnalyzeResponse:
+      reply.ok = true;
+      reply.request_id = decode_response_payload(frame->payload,
+                                                 reply.response);
+      return reply;
+    case FrameType::Busy:
+      reply.busy = true;
+      [[fallthrough]];
+    case FrameType::Error:
+      reply.error = decode_error(frame->payload);
+      reply.request_id = reply.error.request_id;
+      return reply;
+    default:
+      throw ProtocolError(ErrorCode::MalformedFrame,
+                          "serve client: unexpected frame type " +
+                              std::to_string(static_cast<int>(frame->type)));
+  }
+}
+
+Reply Client::analyze(std::uint64_t request_id, const Request& req) {
+  if (!send_request(request_id, req))
+    throw std::runtime_error("serve client: server closed the connection");
+  return read_reply();
+}
+
+bool Client::send_raw(const Frame& frame) { return write_frame(fd_, frame); }
+
+bool Client::send_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ind::serve

@@ -1,0 +1,71 @@
+// Client side of the serve/ wire protocol: connect, handshake, send
+// AnalyzeRequests (pipelined — ids are caller-chosen and echoed back),
+// collect responses.
+//
+// The blocking `analyze()` call is the convenience path (one request, wait
+// for its answer). Load generators pipeline instead: `send_request()` N
+// times, then `read_reply()` N times — the server answers in its own order,
+// matching replies to requests by id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/codec.hpp"
+#include "serve/protocol.hpp"
+
+namespace ind::serve {
+
+/// One decoded server reply: a Response on success, ErrorInfo for Error and
+/// Busy frames (`busy` tells them apart).
+struct Reply {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  bool busy = false;     ///< the server shed this request (Busy frame)
+  Response response;     ///< valid when ok
+  ErrorInfo error;       ///< valid when !ok
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and runs the Hello/HelloAck handshake. Throws
+  /// std::runtime_error on connect failure, ProtocolError when the server
+  /// rejects the handshake (its structured Error is folded into the message).
+  void connect_tcp(const std::string& host, int port);
+  void connect_uds(const std::string& path);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Pipelined send. Returns false when the server is gone.
+  bool send_request(std::uint64_t request_id, const Request& req);
+
+  /// Blocks for the next reply frame. Throws ProtocolError on a torn frame
+  /// or unexpected frame type; std::runtime_error on EOF before a reply.
+  Reply read_reply();
+
+  /// Convenience: send one request and wait for its reply.
+  Reply analyze(std::uint64_t request_id, const Request& req);
+
+  /// Escape hatch for protocol tests: writes a raw frame as-is.
+  bool send_raw(const Frame& frame);
+  /// Escape hatch for protocol tests: writes arbitrary bytes as-is.
+  bool send_bytes(const void* data, std::size_t n);
+
+  /// Server identity string from the HelloAck.
+  const std::string& server_id() const { return server_id_; }
+
+ private:
+  void handshake();
+
+  int fd_ = -1;
+  std::string server_id_;
+};
+
+}  // namespace ind::serve

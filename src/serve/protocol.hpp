@@ -1,0 +1,137 @@
+// Wire protocol for the analysis server: versioned handshake + length-
+// prefixed binary frames over a stream socket (TCP or Unix-domain).
+//
+// Connection lifetime:
+//
+//   client                              server
+//   ------                              ------
+//   Hello {magic, version, flags}  -->
+//                                  <--  HelloAck {version, server id}
+//                                       (or Error {code} + close on any
+//                                        magic/version mismatch — a client
+//                                        built against a different protocol
+//                                        gets a structured rejection, never
+//                                        an undefined read)
+//   AnalyzeRequest {id, body}      -->
+//   AnalyzeRequest {id, body}      -->   (requests pipeline freely; ids are
+//                                         client-chosen and echoed back)
+//                                  <--  AnalyzeResponse {id, ...}
+//                                  <--  Busy {id, code} (shed under load)
+//                                  <--  Error {id, code, detail}
+//
+// Frame layout (all integers little-endian, like the store/ .art format):
+//
+//   offset  size  field
+//   0       4     payload length N (u32) — bytes after the type octet
+//   4       1     frame type (FrameType)
+//   5       N     payload
+//
+// Payloads are encoded with the store/ ByteWriter/ByteReader primitives, so
+// every truncation/overrun surfaces as a structured decode error instead of
+// garbage. The Hello payload begins with an 8-byte magic so a server can
+// reject a non-protocol peer on the very first frame. Frames larger than the
+// server's IND_SERVE_MAX_FRAME_BYTES cap are rejected with FrameTooLarge
+// before any allocation of the declared size happens.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ind::serve {
+
+inline constexpr unsigned char kHelloMagic[8] = {'I', 'N', 'D', 'S',
+                                                 'R', 'V', 0x00, 0x01};
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame header size on the wire: u32 length + u8 type.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Default cap on a single frame's payload (request layouts are text-scale,
+/// responses carry at most a few waveforms). Override: IND_SERVE_MAX_FRAME_BYTES.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
+
+enum class FrameType : std::uint8_t {
+  Hello = 0x01,           ///< client -> server, first frame on a connection
+  HelloAck = 0x02,        ///< server -> client, handshake accepted
+  AnalyzeRequest = 0x03,  ///< client -> server
+  AnalyzeResponse = 0x04, ///< server -> client
+  Error = 0x05,           ///< server -> client, structured failure
+  Busy = 0x06,            ///< server -> client, load shed / shutting down
+};
+
+/// Structured error codes carried by Error / Busy frames.
+enum class ErrorCode : std::uint32_t {
+  None = 0,
+  BadMagic = 1,          ///< first frame was not a Hello with our magic
+  VersionMismatch = 2,   ///< client protocol version != kProtocolVersion
+  MalformedFrame = 3,    ///< frame payload failed to decode
+  FrameTooLarge = 4,     ///< declared length exceeds the server cap
+  BadRequest = 5,        ///< request decoded but is semantically invalid
+  DeadlineExceeded = 6,  ///< per-request deadline budget tripped
+  Internal = 7,          ///< unexpected server-side failure
+  QueueFull = 8,         ///< per-client or global admission queue full
+  ShuttingDown = 9,      ///< server is draining; request not accepted
+};
+
+const char* to_string(ErrorCode code);
+
+/// Framing-level failure with the structured code the server should answer
+/// with before closing the connection.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Blocking frame I/O on a connected stream socket. read_frame returns
+/// std::nullopt on clean EOF before a header byte; it throws ProtocolError —
+/// FrameTooLarge for a payload above `max_payload` (before any allocation),
+/// MalformedFrame for a torn header/payload (peer died mid-frame), Internal
+/// for hard I/O errors. write_frame loops until the whole frame is on the
+/// wire; returns false when the peer is gone (EPIPE / reset), which callers
+/// treat as a disconnect, not an error.
+std::optional<Frame> read_frame(int fd, std::uint32_t max_payload);
+bool write_frame(int fd, const Frame& frame);
+
+// --- handshake payloads ----------------------------------------------------
+
+/// Client side: the Hello frame for this build of the protocol.
+Frame make_hello();
+
+/// Server side: validates a Hello payload. Returns ErrorCode::None and fills
+/// `client_version` on success; BadMagic / VersionMismatch / MalformedFrame
+/// otherwise (the caller answers with an Error frame and closes).
+ErrorCode check_hello(const std::vector<std::uint8_t>& payload,
+                      std::uint32_t* client_version);
+
+Frame make_hello_ack(const std::string& server_id);
+
+// --- error / busy payloads -------------------------------------------------
+
+Frame make_error(std::uint64_t request_id, ErrorCode code,
+                 const std::string& detail);
+Frame make_busy(std::uint64_t request_id, ErrorCode code,
+                const std::string& detail);
+
+struct ErrorInfo {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::None;
+  std::string detail;
+};
+
+/// Decodes an Error or Busy payload; throws store::StoreError on truncation.
+ErrorInfo decode_error(const std::vector<std::uint8_t>& payload);
+
+}  // namespace ind::serve

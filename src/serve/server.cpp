@@ -1,0 +1,616 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/analyzer.hpp"
+#include "govern/env.hpp"
+#include "robust/fault_injection.hpp"
+#include "runtime/metrics.hpp"
+#include "store/artifact_cache.hpp"
+#include "store/serde.hpp"
+
+namespace ind::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void count(const char* name, std::int64_t delta = 1) {
+  runtime::MetricsRegistry::instance().add_count(name, delta);
+}
+
+constexpr const char* kResponseKind = "serve_response";
+constexpr const char* kServerId = "ind_served/1";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// config
+// ---------------------------------------------------------------------------
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig c;
+  c.per_client_queue = static_cast<std::size_t>(
+      govern::env_u64("IND_SERVE_CLIENT_QUEUE", c.per_client_queue, 1,
+                      1u << 20, "serve")
+          .value);
+  c.max_queue = static_cast<std::size_t>(
+      govern::env_u64("IND_SERVE_MAX_QUEUE", c.max_queue, 1, 1u << 24, "serve")
+          .value);
+  c.max_frame_bytes = static_cast<std::uint32_t>(
+      govern::env_u64("IND_SERVE_MAX_FRAME_BYTES", c.max_frame_bytes, 1u << 10,
+                      1u << 30, "serve")
+          .value);
+  c.budget_caps.deadline_ms =
+      govern::env_ms("IND_SERVE_DEADLINE_MS", 0, 0, UINT64_MAX, "serve").value;
+  c.budget_caps.mem_bytes =
+      govern::env_u64("IND_SERVE_MEM_BYTES", 0, 0, UINT64_MAX, "serve").value;
+  c.budget_caps.work_units =
+      govern::env_u64("IND_SERVE_WORK_BUDGET", 0, 0, UINT64_MAX, "serve")
+          .value;
+  c.drain_ms =
+      govern::env_ms("IND_SERVE_DRAIN_MS", c.drain_ms, 0, 3'600'000, "serve")
+          .value;
+  c.result_cache_entries = static_cast<std::size_t>(
+      govern::env_u64("IND_SERVE_RESULT_CACHE", c.result_cache_entries, 0,
+                      1u << 20, "serve")
+          .value);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// connection / in-flight bookkeeping
+// ---------------------------------------------------------------------------
+
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::atomic<bool> alive{true};
+  std::mutex write_mutex;
+
+  /// Serialised frame write (executor and reader both respond on a
+  /// connection). A failed write marks the peer dead; readers notice on
+  /// their next read and run the disconnect path.
+  bool send(const Frame& frame) {
+    std::lock_guard lock(write_mutex);
+    if (!alive.load(std::memory_order_relaxed)) return false;
+    bool ok = false;
+    try {
+      ok = write_frame(fd, frame);
+    } catch (const ProtocolError&) {
+      ok = false;
+    }
+    if (!ok) alive.store(false, std::memory_order_relaxed);
+    return ok;
+  }
+};
+
+struct Server::InFlight {
+  Request request;
+  store::Digest fp;
+  std::string key;  ///< fp.hex(), the dedup/cache map key
+
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t request_id = 0;
+    bool initiator = false;  ///< the request that triggered the computation
+    Clock::time_point admitted;
+  };
+  std::vector<Waiter> waiters;  ///< guarded by Server::state_mutex_
+};
+
+// ---------------------------------------------------------------------------
+// lifecycle
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      scheduler_(config_.per_client_queue, config_.max_queue) {}
+
+Server::~Server() {
+  if (running_.load()) shutdown();
+}
+
+void Server::start() {
+  if (config_.uds_path.empty()) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      throw std::runtime_error(std::string("serve: socket: ") +
+                               std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1)
+      throw std::runtime_error("serve: bad listen address " + config_.host);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0)
+      throw std::runtime_error(std::string("serve: bind: ") +
+                               std::strerror(errno));
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  } else {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      throw std::runtime_error(std::string("serve: socket: ") +
+                               std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.uds_path.size() >= sizeof addr.sun_path)
+      throw std::runtime_error("serve: socket path too long: " +
+                               config_.uds_path);
+    std::strncpy(addr.sun_path, config_.uds_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(config_.uds_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0)
+      throw std::runtime_error(std::string("serve: bind ") + config_.uds_path +
+                               ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0)
+    throw std::runtime_error(std::string("serve: listen: ") +
+                             std::strerror(errno));
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  executor_thread_ = std::thread([this] { executor_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (shutdown) or fatal error
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard lock(conns_mutex_);
+      conn->id = next_conn_id_++;
+      conns_.push_back(conn);
+      reader_threads_.emplace_back(
+          [this, conn] { connection_loop(conn); });
+    }
+    count("serve.connections");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reader side
+// ---------------------------------------------------------------------------
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  try {
+    // Handshake: the first frame must be a well-formed Hello. Anything else
+    // gets a structured Error naming why, then the connection closes —
+    // a client built against a different protocol version never reaches the
+    // request decoder.
+    const auto hello = read_frame(conn->fd, config_.max_frame_bytes);
+    if (!hello) {
+      disconnect(conn);
+      return;
+    }
+    ErrorCode verdict = ErrorCode::None;
+    if (hello->type != FrameType::Hello) {
+      verdict = ErrorCode::BadMagic;
+    } else {
+      verdict = check_hello(hello->payload, nullptr);
+    }
+    if (verdict != ErrorCode::None) {
+      count("serve.handshake_rejects");
+      conn->send(make_error(0, verdict, "handshake rejected"));
+      disconnect(conn);
+      return;
+    }
+    conn->send(make_hello_ack(kServerId));
+
+    while (auto frame = read_frame(conn->fd, config_.max_frame_bytes)) {
+      if (frame->type != FrameType::AnalyzeRequest) {
+        count("serve.protocol_errors");
+        conn->send(make_error(0, ErrorCode::MalformedFrame,
+                              "unexpected frame type"));
+        break;
+      }
+      handle_request(conn, frame->payload);
+    }
+  } catch (const ProtocolError& e) {
+    count("serve.protocol_errors");
+    conn->send(make_error(0, e.code(), e.what()));
+  } catch (const std::exception& e) {
+    count("serve.protocol_errors");
+    conn->send(make_error(0, ErrorCode::Internal, e.what()));
+  }
+  disconnect(conn);
+}
+
+void Server::handle_request(const std::shared_ptr<Connection>& conn,
+                            const std::vector<std::uint8_t>& payload) {
+  count("serve.requests");
+  std::uint64_t request_id = 0;
+  auto flight = std::make_shared<InFlight>();
+  try {
+    store::ByteReader r(payload);
+    request_id = r.u64();
+    // Deterministic fault site for the malformed-input recovery path: a
+    // fired serve_read makes this request behave as if its bytes were
+    // corrupt, exactly like store_read does for cache artifacts.
+    if (robust::fault::fire(robust::fault::Site::ServeRead))
+      throw store::StoreError(store::StoreErrc::Malformed,
+                              "serve_read fault injected");
+    get_request(r, flight->request);
+  } catch (const std::exception& e) {
+    count("serve.protocol_errors");
+    conn->send(make_error(request_id, ErrorCode::MalformedFrame, e.what()));
+    return;
+  }
+
+  flight->fp = request_fingerprint(flight->request);
+  flight->key = flight->fp.hex();
+  const auto now = Clock::now();
+
+  // Decide the fate of the request under the lock; send the reply (which may
+  // block on a slow socket) after releasing it.
+  std::optional<Frame> reply;
+  {
+    std::lock_guard lock(state_mutex_);
+
+    // Response-cache short-circuit: an identical request already computed —
+    // replay the stored RESULT block verbatim.
+    std::vector<std::uint8_t> cached;
+    double build_s = 0.0, solve_s = 0.0;
+    if (cache_lookup(flight->fp, &cached, &build_s, &solve_s)) {
+      count("serve.cache_hits");
+      Frame f;
+      f.type = FrameType::AnalyzeResponse;
+      f.payload = encode_response_payload(request_id, Response::ServedBy::Cache,
+                                          build_s, solve_s, 0.0, cached);
+      reply = std::move(f);
+    } else if (auto it = inflight_.find(flight->key); it != inflight_.end()) {
+      // In-flight dedup: attach to an identical queued/running computation.
+      it->second->waiters.push_back({conn, request_id, false, now});
+      count("serve.dedup_hits");
+    } else {
+      flight->waiters.push_back({conn, request_id, true, now});
+      inflight_.emplace(flight->key, flight);
+      const Admit admit = scheduler_.push(conn->id, flight);
+      if (admit == Admit::Ok) {
+        count("serve.admitted");
+        runtime::MetricsRegistry::instance().max_count(
+            "serve.queue_depth_peak",
+            static_cast<std::int64_t>(scheduler_.depth()));
+      } else {
+        inflight_.erase(flight->key);
+        if (admit == Admit::Draining) {
+          count("serve.busy_shutdown");
+          reply = make_busy(request_id, ErrorCode::ShuttingDown,
+                            "server is draining");
+        } else {
+          count("serve.busy_queue_full");
+          reply = make_busy(request_id, ErrorCode::QueueFull,
+                            admit == Admit::ClientFull ? "client queue full"
+                                                       : "server queue full");
+        }
+      }
+    }
+  }
+  if (reply) conn->send(*reply);
+}
+
+void Server::disconnect(const std::shared_ptr<Connection>& conn) {
+  const bool was_alive = conn->alive.exchange(false);
+  {
+    std::lock_guard lock(state_mutex_);
+    for (auto& [key, flight] : inflight_) {
+      auto& ws = flight->waiters;
+      std::erase_if(ws, [&](const InFlight::Waiter& w) {
+        return w.conn.get() == conn.get();
+      });
+      // The executor is mid-computation for a flight nobody wants any more:
+      // stop it through the cancellation token. Queued orphans are cheaper —
+      // the executor skips them when it pops them.
+      if (ws.empty() && flight == current_) {
+        govern::Governor::instance().cancel(govern::BudgetKind::External);
+        count("serve.cancelled_disconnect");
+      }
+    }
+  }
+  if (was_alive) {
+    count("serve.disconnects");
+    std::lock_guard lock(conn->write_mutex);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// executor side
+// ---------------------------------------------------------------------------
+
+void Server::executor_loop() {
+  FlightPtr flight;
+  while (scheduler_.pop(flight)) {
+    if (config_.before_execute) config_.before_execute();
+    {
+      std::lock_guard lock(state_mutex_);
+      if (flight->waiters.empty()) {
+        // Every client that wanted this result disconnected while it was
+        // queued; drop it without computing.
+        inflight_.erase(flight->key);
+        count("serve.abandoned");
+        flight.reset();
+        continue;
+      }
+      current_ = flight;
+    }
+    execute(flight);
+    {
+      std::lock_guard lock(state_mutex_);
+      current_.reset();
+    }
+    flight.reset();
+  }
+}
+
+govern::RunBudget Server::effective_budget(
+    const govern::RunBudget& requested) const {
+  const auto clamp = [](std::uint64_t req, std::uint64_t cap) {
+    if (cap == 0) return req;
+    if (req == 0) return cap;
+    return std::min(req, cap);
+  };
+  govern::RunBudget b;
+  b.deadline_ms = clamp(requested.deadline_ms, config_.budget_caps.deadline_ms);
+  b.mem_bytes = clamp(requested.mem_bytes, config_.budget_caps.mem_bytes);
+  b.work_units = clamp(requested.work_units, config_.budget_caps.work_units);
+  return b;
+}
+
+void Server::execute(const FlightPtr& flight) {
+  const auto started = Clock::now();
+  auto& gov = govern::Governor::instance();
+  gov.configure(effective_budget(flight->request.budget));
+
+  core::AnalysisReport report;
+  ErrorCode failure = ErrorCode::None;
+  std::string failure_detail;
+  try {
+    runtime::ScopedTimer timer("serve.execute");
+    report = core::analyze(flight->request.layout, flight->request.options);
+  } catch (const govern::CancelledError& e) {
+    if (e.kind() == govern::BudgetKind::External) {
+      // Disconnect- or shutdown-triggered cancellation. With no waiters
+      // there is nobody to answer; during a drain the remaining waiters get
+      // a structured ShuttingDown.
+      failure = ErrorCode::ShuttingDown;
+      count("serve.cancelled_runs");
+    } else {
+      failure = ErrorCode::DeadlineExceeded;
+      count("serve.deadline_trips");
+    }
+    failure_detail = e.what();
+  } catch (const std::invalid_argument& e) {
+    failure = ErrorCode::BadRequest;
+    failure_detail = e.what();
+    count("serve.bad_requests");
+  } catch (const std::exception& e) {
+    failure = ErrorCode::Internal;
+    failure_detail = e.what();
+    count("serve.internal_errors");
+  }
+
+  std::vector<std::uint8_t> result_bytes;
+  if (failure == ErrorCode::None) {
+    result_bytes =
+        encode_result(report, flight->request.include_waveforms);
+    count("serve.computed");
+    if (!report.degradations.empty()) count("serve.degraded_responses");
+  }
+
+  std::vector<InFlight::Waiter> waiters;
+  {
+    std::lock_guard lock(state_mutex_);
+    inflight_.erase(flight->key);
+    waiters = std::move(flight->waiters);
+    flight->waiters.clear();
+    if (failure == ErrorCode::None)
+      cache_store(flight->fp, result_bytes, report.build_seconds,
+                  report.solve_seconds);
+  }
+
+  for (const InFlight::Waiter& w : waiters) {
+    if (failure != ErrorCode::None) {
+      w.conn->send(make_error(w.request_id, failure, failure_detail));
+      continue;
+    }
+    const double queue_s =
+        std::chrono::duration<double>(started - w.admitted).count();
+    Frame f;
+    f.type = FrameType::AnalyzeResponse;
+    f.payload = encode_response_payload(
+        w.request_id,
+        w.initiator ? Response::ServedBy::Computed
+                    : Response::ServedBy::Coalesced,
+        report.build_seconds, report.solve_seconds, std::max(queue_s, 0.0),
+        result_bytes);
+    if (w.conn->send(f)) count("serve.responses");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// response cache
+// ---------------------------------------------------------------------------
+
+bool Server::cache_lookup(const store::Digest& fp,
+                          std::vector<std::uint8_t>* result,
+                          double* build_seconds, double* solve_seconds) {
+  const std::string key = fp.hex();
+  if (auto it = response_cache_.find(key); it != response_cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh MRU
+    *result = it->second.result;
+    *build_seconds = it->second.build_seconds;
+    *solve_seconds = it->second.solve_seconds;
+    return true;
+  }
+  // Memory miss: a previous server process may have persisted the response.
+  auto& disk = store::ArtifactCache::instance();
+  if (!disk.enabled()) return false;
+  auto artifact = disk.load(kResponseKind, fp);
+  if (!artifact) return false;
+  try {
+    *result = artifact->section("result");
+    store::ByteReader stats(artifact->section("stats"));
+    *build_seconds = stats.f64();
+    *solve_seconds = stats.f64();
+  } catch (const store::StoreError&) {
+    return false;
+  }
+  count("serve.disk_cache_hits");
+  cache_store(fp, *result, *build_seconds, *solve_seconds);
+  return true;
+}
+
+void Server::cache_store(const store::Digest& fp,
+                         const std::vector<std::uint8_t>& result,
+                         double build_seconds, double solve_seconds) {
+  if (config_.result_cache_entries == 0) return;
+  const std::string key = fp.hex();
+  if (response_cache_.contains(key)) return;
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.fp = fp;
+  entry.result = result;
+  entry.build_seconds = build_seconds;
+  entry.solve_seconds = solve_seconds;
+  entry.lru = lru_.begin();
+  response_cache_.emplace(key, std::move(entry));
+  while (response_cache_.size() > config_.result_cache_entries) {
+    response_cache_.erase(lru_.back());
+    lru_.pop_back();
+    count("serve.cache_evictions");
+  }
+}
+
+void Server::flush_cache_to_store() {
+  auto& disk = store::ArtifactCache::instance();
+  if (!disk.enabled()) return;
+  std::lock_guard lock(state_mutex_);
+  for (const auto& [key, entry] : response_cache_) {
+    store::Artifact a;
+    a.kind = kResponseKind;
+    a.fingerprint = entry.fp;
+    store::ByteWriter result;
+    result.raw(entry.result.data(), entry.result.size());
+    a.add("result", std::move(result));
+    store::ByteWriter stats;
+    stats.f64(entry.build_seconds);
+    stats.f64(entry.solve_seconds);
+    a.add("stats", std::move(stats));
+    disk.save(a);
+    count("serve.cache_flushed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// shutdown
+// ---------------------------------------------------------------------------
+
+void Server::shutdown() {
+  if (stopping_.exchange(true)) {
+    // A second caller waits for the first to finish tearing down.
+    while (running_.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return;
+  }
+
+  // 1. Stop accepting connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
+
+  // 2. Stop admission; readers answer new requests with Busy/ShuttingDown.
+  scheduler_.shutdown();
+
+  // 3. Drain: let the executor finish queued work, bounded by drain_ms.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.drain_ms);
+  for (;;) {
+    bool idle;
+    {
+      std::lock_guard lock(state_mutex_);
+      idle = scheduler_.depth() == 0 && current_ == nullptr;
+    }
+    if (idle || Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 4. Past the deadline: shed whatever is left with a structured answer and
+  //    cancel the in-flight analysis through the token.
+  {
+    std::vector<FlightPtr> leftovers = scheduler_.drain_all();
+    std::lock_guard lock(state_mutex_);
+    for (const FlightPtr& flight : leftovers) {
+      inflight_.erase(flight->key);
+      for (const InFlight::Waiter& w : flight->waiters)
+        w.conn->send(make_error(w.request_id, ErrorCode::ShuttingDown,
+                                "server shut down before this request ran"));
+      count("serve.shed_on_shutdown",
+            static_cast<std::int64_t>(flight->waiters.size()));
+      flight->waiters.clear();
+    }
+    if (current_ != nullptr)
+      govern::Governor::instance().cancel(govern::BudgetKind::External);
+  }
+
+  // 5. The queue is empty and draining: pop() returns false, the executor
+  //    exits (after answering the cancelled in-flight request, if any).
+  if (executor_thread_.joinable()) executor_thread_.join();
+
+  // 6. Close every connection and join the readers.
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      if (conn->alive.exchange(false)) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : reader_threads_)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      std::lock_guard wlock(conn->write_mutex);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    conns_.clear();
+    reader_threads_.clear();
+  }
+
+  // 7. Persist the response cache so a restarted server starts warm.
+  flush_cache_to_store();
+  running_.store(false);
+}
+
+}  // namespace ind::serve

@@ -1,0 +1,167 @@
+// Multi-tenant analysis server: accepts concurrent AnalyzeRequests over the
+// serve/ wire protocol and multiplexes them onto the process runtime.
+//
+// Architecture (one process, N connections):
+//
+//   accept thread ──> reader thread per connection
+//                        │  handshake, frame decode, request decode
+//                        │  response-cache short-circuit  ── reply Cache
+//                        │  in-flight dedup (fingerprint) ── attach waiter
+//                        ▼
+//                  FairScheduler (per-client bounded FIFOs, round-robin)
+//                        │  full queue -> Busy reply (load shed)
+//                        ▼
+//                  executor thread ── govern::Governor (per-request budget)
+//                        │             core::analyze on the global ThreadPool
+//                        ▼
+//                  respond to every waiter; store result in the cache
+//
+// Analyses execute one at a time, in the scheduler's fair order: the
+// parallelism of a single core::analyze already saturates the pool
+// (parallel_for fans each kernel out across every worker), and the
+// process-wide Governor/metrics machinery assumes one governed run at a
+// time. Concurrency at the request level comes from pipelined I/O, from
+// in-flight dedup (N identical requests cost one computation) and from the
+// response cache (repeat requests never reach the executor). Because every
+// kernel is bitwise-deterministic at any IND_THREADS, the RESULT block for a
+// given request body is byte-identical no matter how it was served.
+//
+// Per-request governance: the request's RunBudget is clamped field-wise by
+// the server caps (IND_SERVE_DEADLINE_MS / IND_SERVE_MEM_BYTES /
+// IND_SERVE_WORK_BUDGET; a tenant can tighten, never loosen). Work/memory
+// trips degrade down the Section-4 fidelity ladder inside analyze() and the
+// response carries the degradation trail; a deadline trip answers
+// DeadlineExceeded. A client disconnect removes its waiters, and when the
+// running flight has no waiters left it is cancelled through the
+// govern CancelToken (queued orphans are skipped at pop).
+//
+// Graceful shutdown (SIGINT/SIGTERM in ind_served): admission stops (new
+// requests get Busy/ShuttingDown), queued work drains through the executor
+// for up to IND_SERVE_DRAIN_MS, anything still pending past the deadline is
+// answered ShuttingDown and the in-flight analysis is cancelled through the
+// CancelToken; finally the response cache is flushed to the artifact store
+// (when IND_CACHE_DIR is set) and the listener exits 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "govern/budget.hpp"
+#include "serve/codec.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace ind::serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path; when empty the server listens on TCP.
+  std::string uds_path;
+  /// TCP listen address. Port 0 binds an ephemeral port (see Server::port).
+  std::string host = "127.0.0.1";
+  int tcp_port = 0;
+
+  std::size_t per_client_queue = 64;   ///< IND_SERVE_CLIENT_QUEUE
+  std::size_t max_queue = 1024;        ///< IND_SERVE_MAX_QUEUE
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;  ///< IND_SERVE_MAX_FRAME_BYTES
+  /// Server-side budget caps; request budgets are clamped to these.
+  govern::RunBudget budget_caps;       ///< IND_SERVE_{DEADLINE_MS,MEM_BYTES,WORK_BUDGET}
+  std::uint64_t drain_ms = 5000;       ///< IND_SERVE_DRAIN_MS
+  /// In-memory response cache capacity in entries; 0 disables it (the
+  /// on-disk artifact cache, when configured, is still consulted).
+  std::size_t result_cache_entries = 512;  ///< IND_SERVE_RESULT_CACHE
+
+  /// Test hook: runs on the executor thread after a flight is popped and
+  /// *before* waiters are checked or the analysis starts. Lets tests hold
+  /// the executor deterministically while they pile up duplicate requests
+  /// or disconnect clients.
+  std::function<void()> before_execute;
+
+  /// Reads the IND_SERVE_* knobs (listed above) over built-in defaults.
+  static ServerConfig from_env();
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and launches the accept + executor threads. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void start();
+
+  /// Bound TCP port (valid after start() on a TCP config).
+  int port() const { return port_; }
+
+  /// True between start() and the end of shutdown().
+  bool running() const { return running_.load(); }
+
+  /// Graceful stop as documented in the header comment. Idempotent;
+  /// blocks until every thread is joined and the cache is flushed.
+  void shutdown();
+
+ private:
+  struct Connection;
+  struct InFlight;
+  using FlightPtr = std::shared_ptr<InFlight>;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      const std::vector<std::uint8_t>& payload);
+  void disconnect(const std::shared_ptr<Connection>& conn);
+  void executor_loop();
+  void execute(const FlightPtr& flight);
+
+  /// Response-cache lookup (memory first, then the on-disk artifact store).
+  bool cache_lookup(const store::Digest& fp, std::vector<std::uint8_t>* result,
+                    double* build_seconds, double* solve_seconds);
+  void cache_store(const store::Digest& fp,
+                   const std::vector<std::uint8_t>& result,
+                   double build_seconds, double solve_seconds);
+  void flush_cache_to_store();
+
+  govern::RunBudget effective_budget(const govern::RunBudget& requested) const;
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  FairScheduler<FlightPtr> scheduler_;
+
+  std::mutex state_mutex_;
+  std::unordered_map<std::string, FlightPtr> inflight_;  ///< key: digest hex
+  FlightPtr current_;  ///< flight the executor is running (or nullptr)
+
+  struct CacheEntry {
+    store::Digest fp;
+    std::vector<std::uint8_t> result;
+    double build_seconds = 0.0;
+    double solve_seconds = 0.0;
+    std::list<std::string>::iterator lru;  ///< position in lru_ (MRU front)
+  };
+  std::unordered_map<std::string, CacheEntry> response_cache_;
+  std::list<std::string> lru_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::vector<std::thread> reader_threads_;
+};
+
+}  // namespace ind::serve

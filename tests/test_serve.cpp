@@ -1,0 +1,680 @@
+// Tests for the multi-tenant analysis server: request/response codec round
+// trips (bitwise), the option-spec grammar, request fingerprints, the fair
+// scheduler, and the live server end-to-end — in-flight dedup, response-cache
+// short-circuit, per-request budget degradation, client-disconnect
+// cancellation, malformed/oversized-frame rejection (including the
+// serve_read fault-injection site), graceful shutdown, and thread-count
+// independence of the result bytes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/analyzer.hpp"
+#include "geom/topologies.hpp"
+#include "govern/budget.hpp"
+#include "robust/fault_injection.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/codec.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "store/format.hpp"
+#include "store/serde.hpp"
+
+namespace {
+
+using namespace ind;
+using geom::um;
+namespace fault = robust::fault;
+
+std::int64_t counter(const char* name) {
+  return runtime::MetricsRegistry::instance().counter(name).value.load();
+}
+
+/// Polls `cond` for up to five seconds (the server responds on its own
+/// threads; tests synchronise on the observable counters, never on sleeps).
+bool eventually(const std::function<bool()>& cond) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+/// Small Figure-1 testbench; `extent` varies the request body (and thus the
+/// fingerprint) between workloads.
+serve::Request grid_request(double extent_um = 220.0) {
+  serve::Request req;
+  req.layout = geom::Layout(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(extent_um);
+  spec.grid.extent_y = um(extent_um);
+  spec.grid.pitch = um(100.0);
+  spec.grid.pads_per_side = 1;
+  spec.signal_length = um(150.0);
+  const auto r = geom::add_driver_receiver_grid(req.layout, spec);
+  req.options = serve::options_from_spec(
+      "flow=peec_rlc seg_um=200 t_stop=0.5e-9 dt=5e-12");
+  req.options.signal_net = r.signal_net;
+  return req;
+}
+
+std::vector<std::uint8_t> encoded(const serve::Request& req) {
+  store::ByteWriter w;
+  serve::put_request(w, req);
+  return w.take();
+}
+
+/// Servers mutate the process-wide Governor per request; restore the
+/// unbudgeted state so later tests see a clean slate.
+class ServeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    govern::Governor::instance().configure({});
+    fault::clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Codec round trips.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, RequestRoundTripIsBitwise) {
+  serve::Request req = grid_request();
+  req.budget.deadline_ms = 1234;
+  req.budget.work_units = 99;
+  req.include_waveforms = true;
+  const auto image = encoded(req);
+
+  serve::Request back;
+  store::ByteReader r(image);
+  serve::get_request(r, back);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(encoded(back), image);
+  EXPECT_EQ(back.budget.deadline_ms, 1234u);
+  EXPECT_TRUE(back.include_waveforms);
+}
+
+TEST_F(ServeTest, RequestDecodeRejectsTrailingBytes) {
+  auto image = encoded(grid_request());
+  image.push_back(0x00);
+  serve::Request back;
+  store::ByteReader r(image);
+  EXPECT_THROW(serve::get_request(r, back), store::StoreError);
+}
+
+TEST_F(ServeTest, RequestDecodeRejectsOutOfRangeEnum) {
+  const serve::Request req = grid_request();
+  auto image = encoded(req);
+  // The flow octet sits right after the codec version + layout block; flip
+  // it to an impossible value by re-encoding with a corrupted options flow.
+  store::ByteWriter w;
+  w.u16(1);  // kCodecVersion
+  store::serde::put(w, req.layout);
+  w.u8(0xEE);  // flow — far beyond Flow::LoopRlc
+  auto corrupt = w.take();
+  // Splice the tail of the valid image (everything after the flow octet).
+  const std::size_t head = corrupt.size();
+  corrupt.insert(corrupt.end(), image.begin() + static_cast<std::ptrdiff_t>(head),
+                 image.end());
+  serve::Request back;
+  store::ByteReader r(corrupt);
+  EXPECT_THROW(serve::get_request(r, back), std::invalid_argument);
+}
+
+TEST_F(ServeTest, ResultBlockRoundTripsWithWaveforms) {
+  core::AnalysisReport report;
+  report.flow = core::Flow::PeecRlcBlockDiag;
+  report.requested_flow = core::Flow::PeecRlcFull;
+  report.degradations = {"peec_rlc->peec_rlc_blockdiag [work]"};
+  report.counts.resistors = 10;
+  report.counts.inductors = 7;
+  report.counts.mutuals = 21;
+  report.unknowns = 42;
+  report.worst_delay = 1.25e-10;
+  report.best_delay = 1.0e-10;
+  report.skew = 2.5e-11;
+  report.worst_sink = "sink3";
+  report.overshoot = 0.07;
+  report.build_seconds = 9.9;  // timings must NOT enter the result block
+  report.time = {0.0, 1e-12, 2e-12};
+  report.sink_names = {"a", "b"};
+  report.sink_waveforms = {{0.0, 0.5, 1.0}, {0.0, 0.4, 0.9}};
+
+  const auto bytes = serve::encode_result(report, true);
+  core::AnalysisReport back;
+  serve::decode_result(bytes, back);
+  EXPECT_EQ(serve::encode_result(back, true), bytes);
+  EXPECT_EQ(back.flow, core::Flow::PeecRlcBlockDiag);
+  EXPECT_EQ(back.degradations, report.degradations);
+  EXPECT_EQ(back.sink_waveforms, report.sink_waveforms);
+  EXPECT_EQ(back.worst_sink, "sink3");
+  // Wall-clock fields are stats, not results.
+  EXPECT_EQ(back.build_seconds, 0.0);
+
+  // Without waveforms the samples are elided but the names travel.
+  const auto lean = serve::encode_result(report, false);
+  ASSERT_LT(lean.size(), bytes.size());
+  core::AnalysisReport lean_back;
+  serve::decode_result(lean, lean_back);
+  EXPECT_TRUE(lean_back.sink_waveforms.empty());
+  EXPECT_EQ(lean_back.sink_names, report.sink_names);
+}
+
+TEST_F(ServeTest, ResponsePayloadRoundTrips) {
+  core::AnalysisReport report;
+  report.worst_delay = 3.5e-10;
+  const auto result = serve::encode_result(report, false);
+  const auto payload = serve::encode_response_payload(
+      77, serve::Response::ServedBy::Coalesced, 1.5, 2.5, 0.25, result);
+  serve::Response out;
+  EXPECT_EQ(serve::decode_response_payload(payload, out), 77u);
+  EXPECT_EQ(out.served_by, serve::Response::ServedBy::Coalesced);
+  EXPECT_DOUBLE_EQ(out.build_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(out.queue_seconds, 0.25);
+  EXPECT_EQ(out.result_bytes, result);
+  EXPECT_DOUBLE_EQ(out.report.worst_delay, 3.5e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Option-spec grammar.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, OptionSpecAppliesEveryKnob) {
+  const auto opts = serve::options_from_spec(
+      "flow=peec_rlc_prima signal_net=7 seg_um=120 t_stop=1.5e-9 dt=2e-12 "
+      "vdd=1.8 decap_sites=9; loop_seg_um=140 loop_extract_um=160 "
+      "trunc_ratio=0.03 shell_um=55 kmatrix_ratio=0.01 prima_order=24");
+  EXPECT_EQ(opts.flow, core::Flow::PeecRlcPrima);
+  EXPECT_EQ(opts.signal_net, 7);
+  EXPECT_DOUBLE_EQ(opts.peec.max_segment_length, um(120));
+  EXPECT_DOUBLE_EQ(opts.transient.t_stop, 1.5e-9);
+  EXPECT_DOUBLE_EQ(opts.transient.dt, 2e-12);
+  EXPECT_DOUBLE_EQ(opts.peec.vdd, 1.8);
+  EXPECT_DOUBLE_EQ(opts.loop.vdd, 1.8);
+  EXPECT_EQ(opts.peec.decap.sites, 9);
+  EXPECT_DOUBLE_EQ(opts.loop.max_segment_length, um(140));
+  EXPECT_DOUBLE_EQ(opts.loop.extraction.max_segment_length, um(160));
+  EXPECT_DOUBLE_EQ(opts.params.truncation_ratio, 0.03);
+  EXPECT_DOUBLE_EQ(opts.params.shell_radius, um(55));
+  EXPECT_DOUBLE_EQ(opts.params.kmatrix_ratio, 0.01);
+  EXPECT_EQ(opts.params.prima_order, 24u);
+}
+
+TEST_F(ServeTest, OptionSpecRejectsMalformedTokens) {
+  EXPECT_THROW(serve::options_from_spec("flow=warp_drive"),
+               std::invalid_argument);
+  EXPECT_THROW(serve::options_from_spec("unknown_knob=1"),
+               std::invalid_argument);
+  EXPECT_THROW(serve::options_from_spec("seg_um=abc"), std::invalid_argument);
+  EXPECT_THROW(serve::options_from_spec("just_a_word"), std::invalid_argument);
+  EXPECT_THROW(serve::options_from_spec("=5"), std::invalid_argument);
+  EXPECT_NO_THROW(serve::options_from_spec("  "));  // empty spec is fine
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, FingerprintIsStableAndSensitive) {
+  const serve::Request a = grid_request(220.0);
+  const serve::Request b = grid_request(220.0);
+  EXPECT_EQ(serve::request_fingerprint(a), serve::request_fingerprint(b));
+
+  serve::Request c = grid_request(220.0);
+  c.options.transient.dt = 4e-12;
+  EXPECT_NE(serve::request_fingerprint(a), serve::request_fingerprint(c));
+
+  // The budget is part of the closure: different caps, different key.
+  serve::Request d = grid_request(220.0);
+  d.budget.work_units = 12345;
+  EXPECT_NE(serve::request_fingerprint(a), serve::request_fingerprint(d));
+
+  const serve::Request e = grid_request(260.0);
+  EXPECT_NE(serve::request_fingerprint(a), serve::request_fingerprint(e));
+}
+
+// ---------------------------------------------------------------------------
+// Fair scheduler.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, SchedulerDrainsClientsRoundRobin) {
+  serve::FairScheduler<int> sched(8, 64);
+  // Client 1 floods; client 2 sends one.
+  EXPECT_EQ(sched.push(1, 10), serve::Admit::Ok);
+  EXPECT_EQ(sched.push(1, 11), serve::Admit::Ok);
+  EXPECT_EQ(sched.push(1, 12), serve::Admit::Ok);
+  EXPECT_EQ(sched.push(2, 20), serve::Admit::Ok);
+  int job = 0;
+  std::vector<int> order;
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(sched.pop(job));
+    order.push_back(job);
+  }
+  // 10 before 20 (client 1 joined first), then strict alternation until
+  // client 2 drains: the flood waits behind exactly one of its own jobs.
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 12}));
+}
+
+TEST_F(ServeTest, SchedulerEnforcesBoundsAndDrains) {
+  serve::FairScheduler<int> sched(2, 3);
+  EXPECT_EQ(sched.push(1, 1), serve::Admit::Ok);
+  EXPECT_EQ(sched.push(1, 2), serve::Admit::Ok);
+  EXPECT_EQ(sched.push(1, 3), serve::Admit::ClientFull);
+  EXPECT_EQ(sched.push(2, 4), serve::Admit::Ok);
+  EXPECT_EQ(sched.push(3, 5), serve::Admit::ServerFull);
+  EXPECT_EQ(sched.depth(), 3u);
+
+  sched.shutdown();
+  EXPECT_EQ(sched.push(4, 6), serve::Admit::Draining);
+  // pop keeps returning the queued jobs, then signals exit.
+  int job = 0;
+  EXPECT_TRUE(sched.pop(job));
+  EXPECT_TRUE(sched.pop(job));
+  EXPECT_TRUE(sched.pop(job));
+  EXPECT_FALSE(sched.pop(job));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server behaviour.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ServesAnalyzeRequestOverTcp) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+  EXPECT_FALSE(client.server_id().empty());
+
+  const serve::Reply reply = client.analyze(42, grid_request());
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.request_id, 42u);
+  EXPECT_EQ(reply.response.served_by, serve::Response::ServedBy::Computed);
+  EXPECT_EQ(reply.response.report.flow, core::Flow::PeecRlcFull);
+  EXPECT_GT(reply.response.report.worst_delay, 0.0);
+  EXPECT_TRUE(reply.response.report.degradations.empty());
+  EXPECT_GT(reply.response.build_seconds, 0.0);
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeTest, CoalescesIdenticalInFlightRequests) {
+  constexpr int kDuplicates = 6;
+  std::counting_semaphore<kDuplicates + 1> gate(0);
+  serve::ServerConfig config;
+  config.before_execute = [&] { gate.acquire(); };
+  serve::Server server(config);
+  server.start();
+
+  const std::int64_t dedup0 = counter("serve.dedup_hits");
+  const std::int64_t computed0 = counter("serve.computed");
+
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+  const serve::Request req = grid_request();
+  for (int k = 0; k < kDuplicates; ++k)
+    ASSERT_TRUE(client.send_request(static_cast<std::uint64_t>(k), req));
+
+  // The executor is held at the gate; every duplicate after the first must
+  // attach to the in-flight entry before any computation happens.
+  ASSERT_TRUE(eventually(
+      [&] { return counter("serve.dedup_hits") == dedup0 + kDuplicates - 1; }));
+  gate.release(kDuplicates);
+
+  int computed = 0, coalesced = 0;
+  std::vector<std::uint8_t> first_result;
+  for (int k = 0; k < kDuplicates; ++k) {
+    const serve::Reply reply = client.read_reply();
+    ASSERT_TRUE(reply.ok) << serve::to_string(reply.error.code);
+    if (reply.response.served_by == serve::Response::ServedBy::Computed)
+      ++computed;
+    if (reply.response.served_by == serve::Response::ServedBy::Coalesced)
+      ++coalesced;
+    if (first_result.empty())
+      first_result = reply.response.result_bytes;
+    else  // N identical requests -> N bitwise-identical result blocks
+      EXPECT_EQ(reply.response.result_bytes, first_result);
+  }
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(coalesced, kDuplicates - 1);
+  EXPECT_EQ(counter("serve.computed"), computed0 + 1);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, CacheHitShortCircuitsRepeatRequests) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+  const serve::Request req = grid_request();
+
+  const serve::Reply first = client.analyze(1, req);
+  ASSERT_TRUE(first.ok);
+  ASSERT_EQ(first.response.served_by, serve::Response::ServedBy::Computed);
+
+  const std::int64_t cache0 = counter("serve.cache_hits");
+  const serve::Reply second = client.analyze(2, req);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.response.served_by, serve::Response::ServedBy::Cache);
+  EXPECT_EQ(second.response.result_bytes, first.response.result_bytes);
+  EXPECT_EQ(counter("serve.cache_hits"), cache0 + 1);
+
+  // A different tenant connection hits the same cache.
+  serve::Client other;
+  other.connect_tcp("127.0.0.1", server.port());
+  const serve::Reply third = other.analyze(3, req);
+  ASSERT_TRUE(third.ok);
+  EXPECT_EQ(third.response.served_by, serve::Response::ServedBy::Cache);
+  EXPECT_EQ(third.response.result_bytes, first.response.result_bytes);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, PerRequestWorkBudgetSurfacesDegradations) {
+  // Size the budget between the full-fidelity cost and the first rung down,
+  // exactly like the govern ladder tests: the server must run the analysis
+  // under the request's budget and return the degradation trail.
+  geom::Layout layout(geom::default_tech());
+  geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = um(600);
+  spec.grid.extent_y = um(600);
+  spec.grid.pitch = um(100);
+  spec.grid.pads_per_side = 1;
+  spec.signal_length = um(500);
+  spec.signal_width = um(3);
+  const auto nets = geom::add_driver_receiver_grid(layout, spec);
+
+  serve::Request req;
+  req.layout = layout;
+  req.options = serve::options_from_spec(
+      "flow=peec_rlc seg_um=150 t_stop=1.2e-9 dt=2e-12 decap_sites=4 "
+      "loop_seg_um=150 loop_extract_um=150");
+  req.options.signal_net = nets.signal_net;
+
+  auto& gov = govern::Governor::instance();
+  gov.configure({});
+  const auto full = core::analyze(layout, req.options);
+  ASSERT_TRUE(full.degradations.empty());
+  const std::uint64_t w_full = gov.work_units();
+  auto bd_options = req.options;
+  bd_options.flow = core::Flow::PeecRlcBlockDiag;
+  gov.configure({});
+  (void)core::analyze(layout, bd_options);
+  const std::uint64_t w_bd = gov.work_units();
+  ASSERT_LT(w_bd, w_full);
+
+  req.budget.work_units = w_bd + (w_full - w_bd) / 2;
+
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+  const serve::Reply reply = client.analyze(9, req);
+  ASSERT_TRUE(reply.ok) << serve::to_string(reply.error.code);
+  EXPECT_EQ(reply.response.report.requested_flow, core::Flow::PeecRlcFull);
+  EXPECT_EQ(reply.response.report.flow, core::Flow::PeecRlcBlockDiag);
+  ASSERT_FALSE(reply.response.report.degradations.empty());
+  EXPECT_NE(reply.response.report.degradations[0].find("[work]"),
+            std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, ServerBudgetCapsClampRequestBudgets) {
+  serve::ServerConfig config;
+  config.budget_caps.work_units = 50;  // far below any real analysis
+  serve::Server server(config);
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+
+  // The request asks for an unlimited budget; the server cap must win. 50
+  // units exhausts even the cheapest ladder rung, so the run is cancelled.
+  const serve::Reply reply = client.analyze(1, grid_request());
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code, serve::ErrorCode::DeadlineExceeded);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, DisconnectedClientsRequestIsAbandoned) {
+  std::counting_semaphore<4> gate(0);
+  serve::ServerConfig config;
+  config.before_execute = [&] { gate.acquire(); };
+  serve::Server server(config);
+  server.start();
+
+  const std::int64_t requests0 = counter("serve.requests");
+  const std::int64_t abandoned0 = counter("serve.abandoned");
+  const std::int64_t computed0 = counter("serve.computed");
+  {
+    serve::Client doomed;
+    doomed.connect_tcp("127.0.0.1", server.port());
+    ASSERT_TRUE(doomed.send_request(1, grid_request()));
+    ASSERT_TRUE(
+        eventually([&] { return counter("serve.requests") == requests0 + 1; }));
+  }  // disconnect while the executor is held at the gate
+
+  gate.release();
+  ASSERT_TRUE(
+      eventually([&] { return counter("serve.abandoned") == abandoned0 + 1; }));
+  EXPECT_EQ(counter("serve.computed"), computed0);  // nothing was computed
+
+  // The server keeps serving afterwards.
+  serve::Client alive;
+  alive.connect_tcp("127.0.0.1", server.port());
+  ASSERT_TRUE(alive.send_request(2, grid_request()));
+  gate.release();
+  const serve::Reply reply = alive.read_reply();
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.response.served_by, serve::Response::ServedBy::Computed);
+  server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hardening.
+// ---------------------------------------------------------------------------
+
+/// Raw TCP connect with no handshake, for speaking deliberately broken
+/// protocol at the server.
+int raw_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+TEST_F(ServeTest, HandshakeRejectsBadMagicAndVersion) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+
+  {  // wrong magic
+    const int fd = raw_connect(server.port());
+    serve::Frame hello = serve::make_hello();
+    hello.payload[0] = 'X';
+    ASSERT_TRUE(serve::write_frame(fd, hello));
+    const auto reply = serve::read_frame(fd, 1 << 20);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, serve::FrameType::Error);
+    EXPECT_EQ(serve::decode_error(reply->payload).code,
+              serve::ErrorCode::BadMagic);
+    // The server closes after a rejected handshake.
+    EXPECT_FALSE(serve::read_frame(fd, 1 << 20).has_value());
+    ::close(fd);
+  }
+  {  // wrong version
+    const int fd = raw_connect(server.port());
+    serve::Frame hello = serve::make_hello();
+    hello.payload[sizeof serve::kHelloMagic] = 0x63;  // version 99
+    ASSERT_TRUE(serve::write_frame(fd, hello));
+    const auto reply = serve::read_frame(fd, 1 << 20);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, serve::FrameType::Error);
+    EXPECT_EQ(serve::decode_error(reply->payload).code,
+              serve::ErrorCode::VersionMismatch);
+    ::close(fd);
+  }
+  {  // first frame is not a Hello at all
+    const int fd = raw_connect(server.port());
+    serve::Frame bogus;
+    bogus.type = serve::FrameType::AnalyzeRequest;
+    ASSERT_TRUE(serve::write_frame(fd, bogus));
+    const auto reply = serve::read_frame(fd, 1 << 20);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(serve::decode_error(reply->payload).code,
+              serve::ErrorCode::BadMagic);
+    ::close(fd);
+  }
+  server.shutdown();
+}
+
+TEST_F(ServeTest, MalformedAndOversizedFramesGetStructuredErrors) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+
+  {  // garbage request payload: the 8-byte id decodes, the body does not
+    serve::Client client;
+    client.connect_tcp("127.0.0.1", server.port());
+    serve::Frame f;
+    f.type = serve::FrameType::AnalyzeRequest;
+    f.payload.assign(12, 0xAB);
+    ASSERT_TRUE(client.send_raw(f));
+    const serve::Reply reply = client.read_reply();
+    ASSERT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error.code, serve::ErrorCode::MalformedFrame);
+  }
+  {  // frame header declaring a payload beyond the server cap
+    serve::Client client;
+    client.connect_tcp("127.0.0.1", server.port());
+    std::uint8_t header[5];
+    const std::uint32_t huge = serve::kDefaultMaxFrameBytes + 1;
+    std::memcpy(header, &huge, sizeof huge);
+    header[4] = static_cast<std::uint8_t>(serve::FrameType::AnalyzeRequest);
+    ASSERT_TRUE(client.send_bytes(header, sizeof header));
+    const serve::Reply reply = client.read_reply();
+    ASSERT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error.code, serve::ErrorCode::FrameTooLarge);
+  }
+  {  // truncated frame: header promises 100 bytes, the peer dies after 10
+    serve::Client client;
+    client.connect_tcp("127.0.0.1", server.port());
+    std::uint8_t header[5];
+    const std::uint32_t len = 100;
+    std::memcpy(header, &len, sizeof len);
+    header[4] = static_cast<std::uint8_t>(serve::FrameType::AnalyzeRequest);
+    ASSERT_TRUE(client.send_bytes(header, sizeof header));
+    std::uint8_t partial[10] = {};
+    ASSERT_TRUE(client.send_bytes(partial, sizeof partial));
+    client.close();
+  }
+  // The server survives all of it and keeps serving.
+  serve::Client healthy;
+  healthy.connect_tcp("127.0.0.1", server.port());
+  const serve::Reply ok = healthy.analyze(5, grid_request(240.0));
+  EXPECT_TRUE(ok.ok);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, ServeReadFaultSiteForcesMalformedPath) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+
+  const std::int64_t errors0 = counter("serve.protocol_errors");
+  fault::configure("serve_read@0");
+  const serve::Reply bad = client.analyze(1, grid_request());
+  ASSERT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error.code, serve::ErrorCode::MalformedFrame);
+  EXPECT_NE(bad.error.detail.find("serve_read"), std::string::npos);
+  EXPECT_EQ(fault::fired(fault::Site::ServeRead), 1);
+  EXPECT_EQ(counter("serve.protocol_errors"), errors0 + 1);
+
+  // Index 0 was consumed; the retry decodes cleanly (same connection).
+  const serve::Reply good = client.analyze(2, grid_request());
+  EXPECT_TRUE(good.ok);
+  fault::clear();
+  server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown and determinism.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, GracefulShutdownDrainsAdmittedWork) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+
+  const std::int64_t admitted0 = counter("serve.admitted");
+  ASSERT_TRUE(client.send_request(1, grid_request(220.0)));
+  ASSERT_TRUE(client.send_request(2, grid_request(260.0)));
+  ASSERT_TRUE(
+      eventually([&] { return counter("serve.admitted") == admitted0 + 2; }));
+
+  // Shutdown must drain both admitted requests before the threads join.
+  std::thread stopper([&] { server.shutdown(); });
+  int answered = 0;
+  for (int k = 0; k < 2; ++k) {
+    const serve::Reply reply = client.read_reply();
+    if (reply.ok) ++answered;
+  }
+  stopper.join();
+  EXPECT_EQ(answered, 2);
+  EXPECT_FALSE(server.running());
+  // Idempotent: a second shutdown is a no-op.
+  server.shutdown();
+}
+
+TEST_F(ServeTest, ResultBytesIdenticalAcrossThreadCounts) {
+  const serve::Request req = grid_request();
+  std::vector<std::uint8_t> result_at_1, result_at_2;
+
+  runtime::set_global_threads(1);
+  {
+    serve::Server server(serve::ServerConfig{});
+    server.start();
+    serve::Client client;
+    client.connect_tcp("127.0.0.1", server.port());
+    const serve::Reply reply = client.analyze(1, req);
+    ASSERT_TRUE(reply.ok);
+    result_at_1 = reply.response.result_bytes;
+    server.shutdown();
+  }
+  runtime::set_global_threads(2);
+  {
+    serve::Server server(serve::ServerConfig{});
+    server.start();
+    serve::Client client;
+    client.connect_tcp("127.0.0.1", server.port());
+    const serve::Reply reply = client.analyze(1, req);
+    ASSERT_TRUE(reply.ok);
+    ASSERT_EQ(reply.response.served_by, serve::Response::ServedBy::Computed);
+    result_at_2 = reply.response.result_bytes;
+    server.shutdown();
+  }
+  runtime::set_global_threads(0);  // restore the configured default
+
+  ASSERT_FALSE(result_at_1.empty());
+  EXPECT_EQ(result_at_1, result_at_2);
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+// ind_loadgen: load generator for ind_served.
+//
+//   ind_loadgen --port N [--host ADDR | --uds PATH]
+//               [--clients C] [--outstanding K] [--requests R]
+//               [--distinct D] [--spec "flow=... seg_um=..."]
+//               [--out BENCH_serve.json]
+//
+// Replays a mixed layout workload: D distinct request bodies (small
+// driver-receiver-grid layouts of varying extent, analysis knobs from
+// --spec) cycled across C client connections, each keeping up to K requests
+// outstanding (pipelined), R requests per client. Peak concurrency is
+// therefore C*K in-flight requests against D distinct computations — the
+// shape that exercises the server's in-flight dedup and response cache.
+//
+// Emits a BENCH-style JSON with client-observed p50/p99 latency, throughput,
+// how each request was served (computed / coalesced / cache), and rejection
+// counts, under a top-level "serve" object that tools/perf_guard.py gates.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "geom/topologies.hpp"
+#include "serve/client.hpp"
+#include "serve/codec.hpp"
+#include "store/format.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string uds;
+  int clients = 32;
+  int outstanding = 32;
+  int requests = 32;  ///< per client
+  int distinct = 4;
+  std::string spec = "flow=peec_rlc seg_um=200 t_stop=0.5e-9 dt=5e-12";
+  std::string out = "BENCH_serve.json";
+};
+
+/// Workload: D distinct small Figure-1 testbenches. The grid extent varies
+/// per index so the request bodies — and therefore their fingerprints — are
+/// genuinely distinct.
+ind::serve::Request make_request(const Args& args, int index) {
+  ind::serve::Request req;
+  req.layout = ind::geom::Layout(ind::geom::default_tech());
+  ind::geom::DriverReceiverGridSpec spec;
+  spec.grid.extent_x = ind::geom::um(200.0 + 50.0 * index);
+  spec.grid.extent_y = ind::geom::um(200.0 + 50.0 * index);
+  spec.grid.pitch = ind::geom::um(100.0);
+  spec.grid.pads_per_side = 1;
+  spec.signal_length = ind::geom::um(150.0 + 25.0 * index);
+  const auto result = ind::geom::add_driver_receiver_grid(req.layout, spec);
+  req.options = ind::serve::options_from_spec(args.spec);
+  req.options.signal_net = result.signal_net;
+  return req;
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t cache = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t errors = 0;
+};
+
+void run_client(const Args& args, int client_index,
+                const std::vector<std::vector<std::uint8_t>>& bodies,
+                ClientStats& stats) {
+  ind::serve::Client client;
+  try {
+    if (!args.uds.empty())
+      client.connect_uds(args.uds);
+    else
+      client.connect_tcp(args.host, args.port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen client %d: %s\n", client_index, e.what());
+    stats.errors += static_cast<std::uint64_t>(args.requests);
+    return;
+  }
+
+  std::vector<Clock::time_point> sent(
+      static_cast<std::size_t>(args.requests));
+  int next_send = 0, done = 0, outstanding = 0;
+  while (done < args.requests) {
+    while (next_send < args.requests && outstanding < args.outstanding) {
+      // Spread the distinct bodies across clients so neighbours ask for
+      // different layouts at the same moment (a mixed workload, not D
+      // synchronized waves).
+      const auto& body =
+          bodies[static_cast<std::size_t>(client_index + next_send) %
+                 bodies.size()];
+      ind::serve::Frame f;
+      f.type = ind::serve::FrameType::AnalyzeRequest;
+      f.payload.reserve(8 + body.size());
+      const auto id = static_cast<std::uint64_t>(next_send);
+      for (int b = 0; b < 8; ++b)
+        f.payload.push_back(static_cast<std::uint8_t>(id >> (8 * b)));
+      f.payload.insert(f.payload.end(), body.begin(), body.end());
+      sent[static_cast<std::size_t>(next_send)] = Clock::now();
+      if (!client.send_raw(f)) {
+        stats.errors +=
+            static_cast<std::uint64_t>(args.requests - done);
+        return;
+      }
+      ++next_send;
+      ++outstanding;
+    }
+    try {
+      const ind::serve::Reply reply = client.read_reply();
+      const auto now = Clock::now();
+      ++done;
+      --outstanding;
+      if (reply.request_id < sent.size()) {
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                now - sent[static_cast<std::size_t>(reply.request_id)])
+                .count();
+        stats.latencies_ms.push_back(ms);
+      }
+      if (reply.ok) {
+        ++stats.ok;
+        using ServedBy = ind::serve::Response::ServedBy;
+        switch (reply.response.served_by) {
+          case ServedBy::Computed: ++stats.computed; break;
+          case ServedBy::Coalesced: ++stats.coalesced; break;
+          case ServedBy::Cache: ++stats.cache; break;
+        }
+      } else if (reply.busy) {
+        ++stats.busy;
+      } else {
+        ++stats.errors;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loadgen client %d: %s\n", client_index, e.what());
+      stats.errors += static_cast<std::uint64_t>(args.requests - done);
+      return;
+    }
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ind_loadgen: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") args.host = next();
+    else if (arg == "--port") args.port = std::atoi(next());
+    else if (arg == "--uds") args.uds = next();
+    else if (arg == "--clients") args.clients = std::atoi(next());
+    else if (arg == "--outstanding") args.outstanding = std::atoi(next());
+    else if (arg == "--requests") args.requests = std::atoi(next());
+    else if (arg == "--distinct") args.distinct = std::atoi(next());
+    else if (arg == "--spec") args.spec = next();
+    else if (arg == "--out") args.out = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: ind_loadgen --port N [--host ADDR | --uds PATH] "
+                   "[--clients C] [--outstanding K] [--requests R] "
+                   "[--distinct D] [--spec S] [--out FILE]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (args.port == 0 && args.uds.empty()) {
+    std::fprintf(stderr, "ind_loadgen: --port or --uds is required\n");
+    return 2;
+  }
+
+  // Pre-encode the distinct request bodies once; every client replays from
+  // this pool, so identical indices are bitwise-identical on the wire.
+  std::vector<std::vector<std::uint8_t>> bodies;
+  for (int d = 0; d < args.distinct; ++d) {
+    ind::store::ByteWriter w;
+    ind::serve::put_request(w, make_request(args, d));
+    bodies.push_back(w.take());
+  }
+
+  std::vector<ClientStats> stats(static_cast<std::size_t>(args.clients));
+  std::vector<std::thread> threads;
+  const auto started = Clock::now();
+  for (int c = 0; c < args.clients; ++c)
+    threads.emplace_back(run_client, std::cref(args), c, std::cref(bodies),
+                         std::ref(stats[static_cast<std::size_t>(c)]));
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              s.latencies_ms.begin(), s.latencies_ms.end());
+    total.ok += s.ok;
+    total.computed += s.computed;
+    total.coalesced += s.coalesced;
+    total.cache += s.cache;
+    total.busy += s.busy;
+    total.errors += s.errors;
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const double p50 = percentile(total.latencies_ms, 0.50);
+  const double p99 = percentile(total.latencies_ms, 0.99);
+  const std::uint64_t sent_total =
+      static_cast<std::uint64_t>(args.clients) *
+      static_cast<std::uint64_t>(args.requests);
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(total.ok) / wall_s : 0.0;
+  const double dedup_rate =
+      total.ok > 0 ? static_cast<double>(total.coalesced + total.cache) /
+                         static_cast<double>(total.ok)
+                   : 0.0;
+
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"bench\": \"serve\",\n"
+      "  \"serve\": {\n"
+      "    \"clients\": %d,\n"
+      "    \"outstanding_per_client\": %d,\n"
+      "    \"concurrent_requests\": %d,\n"
+      "    \"distinct_bodies\": %d,\n"
+      "    \"requests_sent\": %llu,\n"
+      "    \"ok\": %llu,\n"
+      "    \"computed\": %llu,\n"
+      "    \"coalesced\": %llu,\n"
+      "    \"cache_hits\": %llu,\n"
+      "    \"busy_rejected\": %llu,\n"
+      "    \"errors\": %llu,\n"
+      "    \"dedup_hit_rate\": %.4f,\n"
+      "    \"p50_ms\": %.3f,\n"
+      "    \"p99_ms\": %.3f,\n"
+      "    \"throughput_rps\": %.1f,\n"
+      "    \"wall_s\": %.3f\n"
+      "  }\n"
+      "}\n",
+      args.clients, args.outstanding, args.clients * args.outstanding,
+      args.distinct, static_cast<unsigned long long>(sent_total),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.computed),
+      static_cast<unsigned long long>(total.coalesced),
+      static_cast<unsigned long long>(total.cache),
+      static_cast<unsigned long long>(total.busy),
+      static_cast<unsigned long long>(total.errors), dedup_rate, p50, p99,
+      throughput, wall_s);
+  std::ofstream out(args.out);
+  out << buf;
+  out.close();
+  std::printf("%s", buf);
+  return total.errors == 0 && total.ok > 0 ? 0 : 1;
+}

@@ -19,14 +19,6 @@ import sys
 GUARDED_PREFIXES = ("factor.", "solve.")
 
 
-def load_metrics(path):
-    with open(path) as f:
-        report = json.load(f)
-    # Bench reports nest timers under "metrics"; accept a bare registry
-    # snapshot too so the tool works on hand-captured files.
-    return report.get("metrics", report)
-
-
 def guarded_total_ms(metrics):
     timers = metrics.get("timers", {})
     picked = {
@@ -60,6 +52,46 @@ def govern_overhead_check(metrics, solver_ms, max_fraction):
     return 0
 
 
+def load_report(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def serve_gate(current_report, baseline_report, max_ratio):
+    """Gates the load-generator's tail latency. BENCH_serve.json carries a
+    top-level "serve" object (see tools/ind_loadgen.cpp); when both reports
+    have one, fail if p99 regressed past `max_ratio` or the run stopped
+    exercising the dedup/cache paths entirely."""
+    cur = current_report.get("serve")
+    base = baseline_report.get("serve")
+    if cur is None:
+        return 0
+    if cur.get("ok", 0) <= 0 or cur.get("errors", 0) != 0:
+        print(f"perf_guard: FAIL — serve run unhealthy "
+              f"(ok={cur.get('ok', 0)}, errors={cur.get('errors', 0)})",
+              file=sys.stderr)
+        return 1
+    if cur.get("coalesced", 0) + cur.get("cache_hits", 0) <= 0:
+        print("perf_guard: FAIL — serve run had zero dedup/cache hits; "
+              "the coalescing path is not being exercised", file=sys.stderr)
+        return 1
+    if base is None or base.get("p99_ms", 0.0) <= 0.0:
+        print("perf_guard: baseline has no serve.p99_ms; serve gate skipped")
+        return 0
+    ratio = cur["p99_ms"] / base["p99_ms"]
+    print(f"perf_guard: serve p99 {cur['p99_ms']:.1f} ms vs baseline "
+          f"{base['p99_ms']:.1f} ms (ratio {ratio:.2f}, "
+          f"limit {max_ratio:.2f}); "
+          f"dedup_hit_rate {cur.get('dedup_hit_rate', 0.0):.3f}, "
+          f"throughput {cur.get('throughput_rps', 0.0):.0f} rps")
+    if ratio > max_ratio:
+        print(f"perf_guard: FAIL — serve p99 regressed "
+              f"{(ratio - 1.0) * 100.0:.0f}% past the {max_ratio:.2f}x "
+              f"budget", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="fresh BENCH_<name>.json")
@@ -77,13 +109,25 @@ def main():
         help="fail when estimated govern.* checkpoint cost exceeds this "
         "fraction of factor+solve time in an unbudgeted run (default 0.02)",
     )
+    parser.add_argument(
+        "--max-serve-ratio",
+        type=float,
+        default=2.0,
+        help="fail when serve.p99_ms current/baseline exceeds this "
+        "(default 2.0; tail latency is noisier than solver wall time)",
+    )
     args = parser.parse_args()
 
-    current_metrics = load_metrics(args.current)
+    current_report = load_report(args.current)
+    baseline_report = load_report(args.baseline)
+    current_metrics = current_report.get("metrics", current_report)
     current_ms, current = guarded_total_ms(current_metrics)
-    baseline_ms, baseline = guarded_total_ms(load_metrics(args.baseline))
+    baseline_ms, baseline = guarded_total_ms(
+        baseline_report.get("metrics", baseline_report))
     if govern_overhead_check(current_metrics, current_ms,
                              args.max_govern_overhead):
+        return 1
+    if serve_gate(current_report, baseline_report, args.max_serve_ratio):
         return 1
     if baseline_ms <= 0.0:
         print("perf_guard: baseline has no factor.*/solve.* timers; skipping")
