@@ -97,6 +97,7 @@ void Governor::configure(const RunBudget& budget) {
 void Governor::begin_run() {
   total_work_.fetch_add(work_.exchange(0, std::memory_order_relaxed),
                         std::memory_order_relaxed);
+  external_.store(false, std::memory_order_relaxed);
   token_.reset();
   if (budget_.deadline_ms > 0) {
     deadline_at_ = std::chrono::steady_clock::now() +
@@ -113,9 +114,18 @@ void Governor::begin_attempt() {
   total_work_.fetch_add(work_.exchange(0, std::memory_order_relaxed),
                         std::memory_order_relaxed);
   token_.reset();
+  // An external cancel (service shutdown, client disconnect) is not a
+  // budget trip the ladder can degrade past: it must survive the
+  // rung-to-rung token reset — and the case where another cause won the
+  // first-cause slot — so the next rung sees it at its first checkpoint
+  // instead of running an orphaned computation to completion.
+  if (external_.load(std::memory_order_relaxed))
+    token_.cancel(static_cast<int>(BudgetKind::External));
 }
 
 void Governor::cancel(BudgetKind kind) {
+  if (kind == BudgetKind::External)
+    external_.store(true, std::memory_order_relaxed);
   token_.cancel(static_cast<int>(kind));
 }
 

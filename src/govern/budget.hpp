@@ -98,7 +98,9 @@ class Governor {
 
   /// Starts a new fidelity attempt within a run: zeroes the work counter
   /// and clears the cancel token but keeps the original deadline — a run
-  /// that is out of wall-clock time stays out of it.
+  /// that is out of wall-clock time stays out of it. An External cancel is
+  /// sticky across attempts (begin_run() clears it): the ladder must not
+  /// resurrect a run its owner abandoned.
   void begin_attempt();
 
   /// Records `kind` as the cancel cause (first cause wins).
@@ -133,6 +135,10 @@ class Governor {
 
   RunBudget budget_;
   runtime::CancelToken token_;
+  /// Sticky External-cancel latch: set by cancel(External), cleared only by
+  /// begin_run(). Keeps an abandonment alive across begin_attempt()'s token
+  /// reset even when another cause occupied the token's first-cause slot.
+  std::atomic<bool> external_{false};
   std::atomic<std::uint64_t> work_{0};
   /// Work of every finished run/attempt, process-cumulative. Published as
   /// govern.work_units_total — this is what the CI degradation sweep sizes

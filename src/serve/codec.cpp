@@ -218,14 +218,26 @@ long parse_int(std::string_view key, std::string_view text) {
 
 }  // namespace
 
-void put_request(store::ByteWriter& w, const Request& req) {
+namespace {
+
+/// Canonical request encoding with the budget fields taken from `budget`
+/// instead of req.budget — shared by the wire encoder (requested budget) and
+/// the server-side fingerprint (effective budget).
+void put_request_with_budget(store::ByteWriter& w, const Request& req,
+                             const govern::RunBudget& budget) {
   w.u16(kCodecVersion);
   store::serde::put(w, req.layout);
   put_options(w, req.options);
-  w.u64(req.budget.deadline_ms);
-  w.u64(req.budget.mem_bytes);
-  w.u64(req.budget.work_units);
+  w.u64(budget.deadline_ms);
+  w.u64(budget.mem_bytes);
+  w.u64(budget.work_units);
   w.boolean(req.include_waveforms);
+}
+
+}  // namespace
+
+void put_request(store::ByteWriter& w, const Request& req) {
+  put_request_with_budget(w, req, req.budget);
 }
 
 void get_request(store::ByteReader& r, Request& req) {
@@ -353,8 +365,13 @@ std::uint64_t decode_response_payload(const std::vector<std::uint8_t>& payload,
 }
 
 store::Digest request_fingerprint(const Request& req) {
+  return request_fingerprint(req, req.budget);
+}
+
+store::Digest request_fingerprint(const Request& req,
+                                  const govern::RunBudget& effective_budget) {
   store::ByteWriter w;
-  put_request(w, req);
+  put_request_with_budget(w, req, effective_budget);
   store::Hasher h = store::fingerprint_base("serve_request");
   h.bytes(w.bytes().data(), w.bytes().size());
   return h.digest();

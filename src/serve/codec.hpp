@@ -101,6 +101,15 @@ std::uint64_t decode_response_payload(const std::vector<std::uint8_t>& payload,
 /// response-cache key.
 store::Digest request_fingerprint(const Request& req);
 
+/// Fingerprint of the request *as the server will actually run it*: the
+/// requested budget is replaced by `effective_budget` (the field-wise clamp
+/// against the server's IND_SERVE_* caps) before hashing. The server keys
+/// dedup and both response caches on this form, so the RESULT stays a pure
+/// function of the key — a restart with different caps cannot replay stale
+/// entries, and requests that clamp to the same effective budget coalesce.
+store::Digest request_fingerprint(const Request& req,
+                                  const govern::RunBudget& effective_budget);
+
 // --- option-spec grammar ---------------------------------------------------
 
 /// Applies "key=value" settings (whitespace- or ';'-separated) onto `opts`.

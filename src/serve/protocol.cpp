@@ -46,6 +46,11 @@ bool write_exact(int fd, const void* buf, std::size_t n) {
     }
     if (errno == EINTR) continue;
     if (errno == EPIPE || errno == ECONNRESET) return false;
+    // SO_SNDTIMEO expiry on a blocking socket: the peer stopped reading for
+    // the whole timeout window. Treat it like a vanished peer — the server
+    // must never let one wedged client block the executor indefinitely.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT)
+      return false;
     throw ProtocolError(ErrorCode::Internal,
                         std::string("serve: write failed: ") +
                             std::strerror(errno));

@@ -100,8 +100,9 @@ struct Frame {
 /// FrameTooLarge for a payload above `max_payload` (before any allocation),
 /// MalformedFrame for a torn header/payload (peer died mid-frame), Internal
 /// for hard I/O errors. write_frame loops until the whole frame is on the
-/// wire; returns false when the peer is gone (EPIPE / reset), which callers
-/// treat as a disconnect, not an error.
+/// wire; returns false when the peer is gone (EPIPE / reset) or, with
+/// SO_SNDTIMEO armed on the socket, when a send made no progress for the
+/// whole timeout window — callers treat both as a disconnect, not an error.
 std::optional<Frame> read_frame(int fd, std::uint32_t max_payload);
 bool write_frame(int fd, const Frame& frame);
 

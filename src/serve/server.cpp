@@ -9,6 +9,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -61,6 +62,9 @@ ServerConfig ServerConfig::from_env() {
   c.drain_ms =
       govern::env_ms("IND_SERVE_DRAIN_MS", c.drain_ms, 0, 3'600'000, "serve")
           .value;
+  c.send_timeout_ms = govern::env_ms("IND_SERVE_SEND_TIMEOUT_MS",
+                                     c.send_timeout_ms, 0, 3'600'000, "serve")
+                          .value;
   c.result_cache_entries = static_cast<std::size_t>(
       govern::env_u64("IND_SERVE_RESULT_CACHE", c.result_cache_entries, 0,
                       1u << 20, "serve")
@@ -78,12 +82,21 @@ struct Server::Connection {
   std::atomic<bool> alive{true};
   std::mutex write_mutex;
 
+  /// The socket closes when the last reference (conns_, the reader thread,
+  /// any waiter entry) drops. Disconnect paths only ::shutdown the fd, so
+  /// its number is never recycled while a blocked send could still use it.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
   /// Serialised frame write (executor and reader both respond on a
-  /// connection). A failed write marks the peer dead; readers notice on
-  /// their next read and run the disconnect path.
+  /// connection). A failed write — including a send that made no progress
+  /// for the socket's SO_SNDTIMEO window — marks the peer dead; readers
+  /// notice on their next read and run the disconnect path, and later
+  /// sends to the dead peer are skipped instead of timing out again.
   bool send(const Frame& frame) {
     std::lock_guard lock(write_mutex);
-    if (!alive.load(std::memory_order_relaxed)) return false;
+    if (!alive.load(std::memory_order_relaxed) || fd < 0) return false;
     bool ok = false;
     try {
       ok = write_frame(fd, frame);
@@ -179,17 +192,44 @@ void Server::accept_loop() {
       ::close(fd);
       continue;
     }
+    reap_readers();
+    if (config_.send_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(config_.send_timeout_ms / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((config_.send_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
       std::lock_guard lock(conns_mutex_);
       conn->id = next_conn_id_++;
       conns_.push_back(conn);
-      reader_threads_.emplace_back(
-          [this, conn] { connection_loop(conn); });
+      reader_threads_.emplace(conn->id,
+                              std::thread([this, conn] { connection_loop(conn); }));
     }
     count("serve.connections");
   }
+}
+
+void Server::reap_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (const std::uint64_t id : finished_readers_) {
+      auto it = reader_threads_.find(id);
+      if (it == reader_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      reader_threads_.erase(it);
+    }
+    finished_readers_.clear();
+  }
+  // The threads have already run their final statement (queueing the id is
+  // the last thing connection_loop does), so these joins return promptly.
+  for (std::thread& t : done) t.join();
+  if (!done.empty())
+    count("serve.readers_reaped", static_cast<std::int64_t>(done.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +278,16 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
     conn->send(make_error(0, ErrorCode::Internal, e.what()));
   }
   disconnect(conn);
+  // Retire this connection: drop it from the live set and queue this
+  // thread's handle for the accept loop (or shutdown) to join. Must be the
+  // last statement — a thread cannot join itself.
+  {
+    std::lock_guard lock(conns_mutex_);
+    std::erase_if(conns_, [&](const std::shared_ptr<Connection>& c) {
+      return c.get() == conn.get();
+    });
+    finished_readers_.push_back(conn->id);
+  }
 }
 
 void Server::handle_request(const std::shared_ptr<Connection>& conn,
@@ -261,54 +311,83 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
-  flight->fp = request_fingerprint(flight->request);
+  // Dedup and both response caches key on the request as it will actually
+  // run — the requested budget clamped by the server caps — so a restart
+  // with different IND_SERVE_* caps can never replay results computed under
+  // the old ones.
+  flight->fp = request_fingerprint(flight->request,
+                                   effective_budget(flight->request.budget));
   flight->key = flight->fp.hex();
   const auto now = Clock::now();
 
   // Decide the fate of the request under the lock; send the reply (which may
   // block on a slow socket) after releasing it.
   std::optional<Frame> reply;
-  {
-    std::lock_guard lock(state_mutex_);
+  std::vector<std::uint8_t> cached;
+  double build_s = 0.0, solve_s = 0.0;
+  const auto cache_reply = [&] {
+    count("serve.cache_hits");
+    Frame f;
+    f.type = FrameType::AnalyzeResponse;
+    f.payload = encode_response_payload(request_id, Response::ServedBy::Cache,
+                                        build_s, solve_s, 0.0, cached);
+    return f;
+  };
+  bool disk_probed = false;
+  for (;;) {
+    std::unique_lock lock(state_mutex_);
 
     // Response-cache short-circuit: an identical request already computed —
     // replay the stored RESULT block verbatim.
-    std::vector<std::uint8_t> cached;
-    double build_s = 0.0, solve_s = 0.0;
-    if (cache_lookup(flight->fp, &cached, &build_s, &solve_s)) {
-      count("serve.cache_hits");
-      Frame f;
-      f.type = FrameType::AnalyzeResponse;
-      f.payload = encode_response_payload(request_id, Response::ServedBy::Cache,
-                                          build_s, solve_s, 0.0, cached);
-      reply = std::move(f);
-    } else if (auto it = inflight_.find(flight->key); it != inflight_.end()) {
+    if (cache_probe(flight->fp, &cached, &build_s, &solve_s)) {
+      reply = cache_reply();
+      break;
+    }
+    if (auto it = inflight_.find(flight->key); it != inflight_.end()) {
       // In-flight dedup: attach to an identical queued/running computation.
       it->second->waiters.push_back({conn, request_id, false, now});
       count("serve.dedup_hits");
+      break;
+    }
+    if (!disk_probed && store::ArtifactCache::instance().enabled()) {
+      // A previous server process may have persisted the response. The disk
+      // read must not happen under state_mutex_ (it would stall every
+      // reader's admission and the executor's waiter bookkeeping), so drop
+      // the lock, probe, and re-decide — an identical request may have been
+      // cached or scheduled meanwhile.
+      lock.unlock();
+      disk_probed = true;
+      if (cache_load_disk(flight->fp, &cached, &build_s, &solve_s)) {
+        count("serve.disk_cache_hits");
+        lock.lock();
+        cache_store(flight->fp, cached, build_s, solve_s);
+        reply = cache_reply();
+        break;
+      }
+      continue;
+    }
+    flight->waiters.push_back({conn, request_id, true, now});
+    inflight_.emplace(flight->key, flight);
+    const Admit admit = scheduler_.push(conn->id, flight);
+    if (admit == Admit::Ok) {
+      count("serve.admitted");
+      runtime::MetricsRegistry::instance().max_count(
+          "serve.queue_depth_peak",
+          static_cast<std::int64_t>(scheduler_.depth()));
     } else {
-      flight->waiters.push_back({conn, request_id, true, now});
-      inflight_.emplace(flight->key, flight);
-      const Admit admit = scheduler_.push(conn->id, flight);
-      if (admit == Admit::Ok) {
-        count("serve.admitted");
-        runtime::MetricsRegistry::instance().max_count(
-            "serve.queue_depth_peak",
-            static_cast<std::int64_t>(scheduler_.depth()));
+      inflight_.erase(flight->key);
+      if (admit == Admit::Draining) {
+        count("serve.busy_shutdown");
+        reply = make_busy(request_id, ErrorCode::ShuttingDown,
+                          "server is draining");
       } else {
-        inflight_.erase(flight->key);
-        if (admit == Admit::Draining) {
-          count("serve.busy_shutdown");
-          reply = make_busy(request_id, ErrorCode::ShuttingDown,
-                            "server is draining");
-        } else {
-          count("serve.busy_queue_full");
-          reply = make_busy(request_id, ErrorCode::QueueFull,
-                            admit == Admit::ClientFull ? "client queue full"
-                                                       : "server queue full");
-        }
+        count("serve.busy_queue_full");
+        reply = make_busy(request_id, ErrorCode::QueueFull,
+                          admit == Admit::ClientFull ? "client queue full"
+                                                     : "server queue full");
       }
     }
+    break;
   }
   if (reply) conn->send(*reply);
 }
@@ -331,12 +410,10 @@ void Server::disconnect(const std::shared_ptr<Connection>& conn) {
       }
     }
   }
-  if (was_alive) {
-    count("serve.disconnects");
-    std::lock_guard lock(conn->write_mutex);
-    ::close(conn->fd);
-    conn->fd = -1;
-  }
+  if (was_alive) count("serve.disconnects");
+  // Unblock anything still parked on this peer (a response send mid-write);
+  // the fd itself stays open until ~Connection.
+  if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
 }
 
 // ---------------------------------------------------------------------------
@@ -457,18 +534,21 @@ void Server::execute(const FlightPtr& flight) {
 // response cache
 // ---------------------------------------------------------------------------
 
-bool Server::cache_lookup(const store::Digest& fp,
-                          std::vector<std::uint8_t>* result,
-                          double* build_seconds, double* solve_seconds) {
-  const std::string key = fp.hex();
-  if (auto it = response_cache_.find(key); it != response_cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh MRU
-    *result = it->second.result;
-    *build_seconds = it->second.build_seconds;
-    *solve_seconds = it->second.solve_seconds;
-    return true;
-  }
-  // Memory miss: a previous server process may have persisted the response.
+bool Server::cache_probe(const store::Digest& fp,
+                         std::vector<std::uint8_t>* result,
+                         double* build_seconds, double* solve_seconds) {
+  const auto it = response_cache_.find(fp.hex());
+  if (it == response_cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh MRU
+  *result = it->second.result;
+  *build_seconds = it->second.build_seconds;
+  *solve_seconds = it->second.solve_seconds;
+  return true;
+}
+
+bool Server::cache_load_disk(const store::Digest& fp,
+                             std::vector<std::uint8_t>* result,
+                             double* build_seconds, double* solve_seconds) {
   auto& disk = store::ArtifactCache::instance();
   if (!disk.enabled()) return false;
   auto artifact = disk.load(kResponseKind, fp);
@@ -481,8 +561,6 @@ bool Server::cache_lookup(const store::Digest& fp,
   } catch (const store::StoreError&) {
     return false;
   }
-  count("serve.disk_cache_hits");
-  cache_store(fp, *result, *build_seconds, *solve_seconds);
   return true;
 }
 
@@ -565,50 +643,63 @@ void Server::shutdown() {
   }
 
   // 4. Past the deadline: shed whatever is left with a structured answer and
-  //    cancel the in-flight analysis through the token.
+  //    cancel the in-flight analysis through the token. The waiters are
+  //    collected under the lock but answered outside it — sends can block
+  //    (bounded by SO_SNDTIMEO) and must not hold up state.
+  std::vector<InFlight::Waiter> shed;
   {
     std::vector<FlightPtr> leftovers = scheduler_.drain_all();
     std::lock_guard lock(state_mutex_);
     for (const FlightPtr& flight : leftovers) {
       inflight_.erase(flight->key);
-      for (const InFlight::Waiter& w : flight->waiters)
-        w.conn->send(make_error(w.request_id, ErrorCode::ShuttingDown,
-                                "server shut down before this request ran"));
-      count("serve.shed_on_shutdown",
-            static_cast<std::int64_t>(flight->waiters.size()));
+      for (InFlight::Waiter& w : flight->waiters)
+        shed.push_back(std::move(w));
       flight->waiters.clear();
     }
     if (current_ != nullptr)
       govern::Governor::instance().cancel(govern::BudgetKind::External);
   }
+  for (const InFlight::Waiter& w : shed)
+    w.conn->send(make_error(w.request_id, ErrorCode::ShuttingDown,
+                            "server shut down before this request ran"));
+  if (!shed.empty())
+    count("serve.shed_on_shutdown", static_cast<std::int64_t>(shed.size()));
 
-  // 5. The queue is empty and draining: pop() returns false, the executor
-  //    exits (after answering the cancelled in-flight request, if any).
+  // 5. Mark every connection dead and shut its socket down BEFORE joining
+  //    the worker threads: a response send the executor is still blocked in
+  //    fails immediately instead of waiting out its timeout, and blocked
+  //    reads return. In the graceful path the executor is already idle here
+  //    and every response was delivered during the drain.
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      conn->alive.store(false, std::memory_order_relaxed);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+
+  // 6. The queue is empty and draining: pop() returns false and the
+  //    executor exits (after answering the cancelled in-flight request, if
+  //    any — those sends fail fast against the sockets shut down above).
   if (executor_thread_.joinable()) executor_thread_.join();
 
-  // 6. Close every connection and join the readers.
+  // 7. Join the readers: the ones still in the map unblock on their dead
+  //    sockets, the already-finished ones were queued for reaping. Each
+  //    connection's fd closes when its last reference drops.
+  std::unordered_map<std::uint64_t, std::thread> readers;
   {
     std::lock_guard lock(conns_mutex_);
-    for (const auto& conn : conns_) {
-      if (conn->alive.exchange(false)) ::shutdown(conn->fd, SHUT_RDWR);
-    }
+    readers.swap(reader_threads_);
+    finished_readers_.clear();
   }
-  for (std::thread& t : reader_threads_)
-    if (t.joinable()) t.join();
+  for (auto& [id, thread] : readers)
+    if (thread.joinable()) thread.join();
   {
     std::lock_guard lock(conns_mutex_);
-    for (const auto& conn : conns_) {
-      std::lock_guard wlock(conn->write_mutex);
-      if (conn->fd >= 0) {
-        ::close(conn->fd);
-        conn->fd = -1;
-      }
-    }
     conns_.clear();
-    reader_threads_.clear();
   }
 
-  // 7. Persist the response cache so a restarted server starts warm.
+  // 8. Persist the response cache so a restarted server starts warm.
   flush_cache_to_store();
   running_.store(false);
 }

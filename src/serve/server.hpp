@@ -28,18 +28,28 @@
 //
 // Per-request governance: the request's RunBudget is clamped field-wise by
 // the server caps (IND_SERVE_DEADLINE_MS / IND_SERVE_MEM_BYTES /
-// IND_SERVE_WORK_BUDGET; a tenant can tighten, never loosen). Work/memory
+// IND_SERVE_WORK_BUDGET; a tenant can tighten, never loosen). Dedup and
+// both response caches key on the fingerprint of the request under that
+// *effective* budget, so a server restarted with different caps never
+// replays results computed under the old ones. Work/memory
 // trips degrade down the Section-4 fidelity ladder inside analyze() and the
 // response carries the degradation trail; a deadline trip answers
 // DeadlineExceeded. A client disconnect removes its waiters, and when the
 // running flight has no waiters left it is cancelled through the
 // govern CancelToken (queued orphans are skipped at pop).
 //
+// Slow/wedged peers: every accepted socket carries SO_SNDTIMEO
+// (IND_SERVE_SEND_TIMEOUT_MS, default 10 s); a send that makes no progress
+// for the whole window marks the peer dead, so a client that stops reading
+// can stall the executor for at most one timeout instead of forever.
+//
 // Graceful shutdown (SIGINT/SIGTERM in ind_served): admission stops (new
 // requests get Busy/ShuttingDown), queued work drains through the executor
 // for up to IND_SERVE_DRAIN_MS, anything still pending past the deadline is
 // answered ShuttingDown and the in-flight analysis is cancelled through the
-// CancelToken; finally the response cache is flushed to the artifact store
+// CancelToken; the remaining sockets are then shut down *before* the worker
+// threads are joined (a blocked send fails fast instead of wedging the
+// join), and finally the response cache is flushed to the artifact store
 // (when IND_CACHE_DIR is set) and the listener exits 0.
 #pragma once
 
@@ -74,6 +84,11 @@ struct ServerConfig {
   /// Server-side budget caps; request budgets are clamped to these.
   govern::RunBudget budget_caps;       ///< IND_SERVE_{DEADLINE_MS,MEM_BYTES,WORK_BUDGET}
   std::uint64_t drain_ms = 5000;       ///< IND_SERVE_DRAIN_MS
+  /// SO_SNDTIMEO on every accepted socket: a send that makes no progress
+  /// for this long marks the peer dead instead of wedging the sender (the
+  /// executor answers waiters with blocking writes — one client that stops
+  /// reading must not starve every other tenant). 0 disables the timeout.
+  std::uint64_t send_timeout_ms = 10'000;  ///< IND_SERVE_SEND_TIMEOUT_MS
   /// In-memory response cache capacity in entries; 0 disables it (the
   /// on-disk artifact cache, when configured, is still consulted).
   std::size_t result_cache_entries = 512;  ///< IND_SERVE_RESULT_CACHE
@@ -120,12 +135,20 @@ class Server {
   void handle_request(const std::shared_ptr<Connection>& conn,
                       const std::vector<std::uint8_t>& payload);
   void disconnect(const std::shared_ptr<Connection>& conn);
+  /// Joins reader threads whose connection_loop has returned (called from
+  /// the accept loop on every new connection, and from shutdown()).
+  void reap_readers();
   void executor_loop();
   void execute(const FlightPtr& flight);
 
-  /// Response-cache lookup (memory first, then the on-disk artifact store).
-  bool cache_lookup(const store::Digest& fp, std::vector<std::uint8_t>* result,
-                    double* build_seconds, double* solve_seconds);
+  /// In-memory response-cache probe. Caller holds state_mutex_.
+  bool cache_probe(const store::Digest& fp, std::vector<std::uint8_t>* result,
+                   double* build_seconds, double* solve_seconds);
+  /// On-disk artifact-store load. Performs disk I/O — caller must NOT hold
+  /// state_mutex_ (a slow read would stall every reader's admission path).
+  bool cache_load_disk(const store::Digest& fp,
+                       std::vector<std::uint8_t>* result, double* build_seconds,
+                       double* solve_seconds);
   void cache_store(const store::Digest& fp,
                    const std::vector<std::uint8_t>& result,
                    double build_seconds, double solve_seconds);
@@ -156,12 +179,17 @@ class Server {
   std::list<std::string> lru_;
 
   std::mutex conns_mutex_;
-  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> conns_;  ///< live connections only
   std::uint64_t next_conn_id_ = 1;
 
   std::thread accept_thread_;
   std::thread executor_thread_;
-  std::vector<std::thread> reader_threads_;
+  /// Reader threads keyed by connection id. A reader that finishes moves its
+  /// connection out of conns_ and queues its id on finished_readers_; the
+  /// accept loop joins those handles, so a long-running daemon serving many
+  /// short-lived connections does not accumulate joinable thread stacks.
+  std::unordered_map<std::uint64_t, std::thread> reader_threads_;
+  std::vector<std::uint64_t> finished_readers_;  ///< guarded by conns_mutex_
 };
 
 }  // namespace ind::serve

@@ -206,6 +206,35 @@ TEST_F(GovernBudgetTest, WorkBudgetTripsDeterministically) {
   EXPECT_FALSE(govern::checkpoint(50));
 }
 
+TEST_F(GovernBudgetTest, ExternalCancelSurvivesAttemptReset) {
+  auto& gov = govern::Governor::instance();
+  gov.configure({});
+  gov.begin_run();
+
+  // Budget trips are cleared by the next rung — that is what lets the
+  // ladder degrade past them.
+  gov.cancel(govern::BudgetKind::Work);
+  gov.begin_attempt();
+  EXPECT_FALSE(gov.cancelled());
+
+  // An external cancel (client disconnect, service shutdown) is an
+  // abandonment, not a budget trip: it must survive the rung-to-rung token
+  // reset even when another cause won the token's first-cause slot.
+  gov.cancel(govern::BudgetKind::Work);
+  gov.cancel(govern::BudgetKind::External);  // loses the slot to Work
+  gov.begin_attempt();
+  EXPECT_TRUE(gov.cancelled());
+  EXPECT_EQ(gov.cancel_kind(), govern::BudgetKind::External);
+  gov.begin_attempt();  // sticky across every later rung of this run
+  EXPECT_TRUE(gov.cancelled());
+
+  // A fresh run starts clean.
+  gov.begin_run();
+  EXPECT_FALSE(gov.cancelled());
+  gov.begin_attempt();
+  EXPECT_FALSE(gov.cancelled());
+}
+
 TEST_F(GovernBudgetTest, UnbudgetedCheckpointNeverTrips) {
   auto& gov = govern::Governor::instance();
   gov.configure({});

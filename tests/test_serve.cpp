@@ -250,6 +250,32 @@ TEST_F(ServeTest, FingerprintIsStableAndSensitive) {
   EXPECT_NE(serve::request_fingerprint(a), serve::request_fingerprint(e));
 }
 
+TEST_F(ServeTest, FingerprintKeyedByEffectiveBudget) {
+  // The server hashes the request under the budget it will actually run
+  // with. Requests whose budgets clamp to the same effective values share a
+  // key; a cap change yields a different key, so cached results computed
+  // under old caps can never be replayed after a restart.
+  serve::Request a = grid_request();
+  serve::Request b = grid_request();
+  a.budget.work_units = 500;
+  b.budget.work_units = 1000;
+  EXPECT_NE(serve::request_fingerprint(a), serve::request_fingerprint(b));
+
+  govern::RunBudget capped;
+  capped.work_units = 100;  // both requests clamp to this
+  EXPECT_EQ(serve::request_fingerprint(a, capped),
+            serve::request_fingerprint(b, capped));
+
+  govern::RunBudget tighter;
+  tighter.work_units = 50;
+  EXPECT_NE(serve::request_fingerprint(a, capped),
+            serve::request_fingerprint(a, tighter));
+
+  // With no caps the effective budget is the requested one.
+  EXPECT_EQ(serve::request_fingerprint(a, a.budget),
+            serve::request_fingerprint(a));
+}
+
 // ---------------------------------------------------------------------------
 // Fair scheduler.
 // ---------------------------------------------------------------------------
@@ -481,6 +507,33 @@ TEST_F(ServeTest, DisconnectedClientsRequestIsAbandoned) {
   const serve::Reply reply = alive.read_reply();
   ASSERT_TRUE(reply.ok);
   EXPECT_EQ(reply.response.served_by, serve::Response::ServedBy::Computed);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, FinishedReaderThreadsAreReaped) {
+  serve::Server server(serve::ServerConfig{});
+  server.start();
+
+  const std::int64_t reaped0 = counter("serve.readers_reaped");
+  const std::int64_t disconnects0 = counter("serve.disconnects");
+  constexpr int kChurn = 8;
+  for (int k = 0; k < kChurn; ++k) {
+    serve::Client client;
+    client.connect_tcp("127.0.0.1", server.port());
+  }  // each connection closes as the client goes out of scope
+  ASSERT_TRUE(eventually(
+      [&] { return counter("serve.disconnects") == disconnects0 + kChurn; }));
+
+  // Each accept joins the reader threads that finished before it: a
+  // long-running daemon serving short-lived connections must not accumulate
+  // joinable stacks. Probe repeatedly — a reader registers for reaping just
+  // after its disconnect is counted, so one probe may arrive too early.
+  ASSERT_TRUE(eventually([&] {
+    if (counter("serve.readers_reaped") >= reaped0 + kChurn) return true;
+    serve::Client probe;
+    probe.connect_tcp("127.0.0.1", server.port());
+    return counter("serve.readers_reaped") >= reaped0 + kChurn;
+  }));
   server.shutdown();
 }
 
