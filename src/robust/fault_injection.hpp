@@ -35,8 +35,10 @@ enum class Site {
   StoreRead,       ///< a cached artifact read is treated as corrupt
   BudgetCheck,     ///< a govern::checkpoint() behaves as if the budget tripped
   ServeRead,       ///< a serve request frame is treated as malformed
+  StoreWrite,      ///< an artifact commit is torn mid-write (partial .tmp left)
+  ServeSend,       ///< a serve response send fails as if the peer vanished
 };
-inline constexpr int kSiteCount = 8;
+inline constexpr int kSiteCount = 10;
 
 namespace detail {
 extern std::atomic<bool> g_active;

@@ -7,6 +7,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -34,6 +35,7 @@ void Client::connect_tcp(const std::string& host, int port) {
                              ":" + std::to_string(port) + ": " +
                              std::strerror(err));
   }
+  apply_recv_timeout();
   handshake();
 }
 
@@ -56,7 +58,21 @@ void Client::connect_uds(const std::string& path) {
     throw std::runtime_error(std::string("serve client: connect ") + path +
                              ": " + std::strerror(err));
   }
+  apply_recv_timeout();
   handshake();
+}
+
+void Client::set_recv_timeout_ms(std::uint64_t ms) {
+  recv_timeout_ms_ = ms;
+  apply_recv_timeout();
+}
+
+void Client::apply_recv_timeout() {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(recv_timeout_ms_ / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((recv_timeout_ms_ % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 void Client::close() {
@@ -110,10 +126,34 @@ bool Client::send_request(std::uint64_t request_id, const Request& req) {
   return write_frame(fd_, f);
 }
 
+namespace {
+
+Reply connection_lost(const std::string& detail) {
+  Reply reply;
+  reply.ok = false;
+  reply.error.code = ErrorCode::ConnectionLost;
+  reply.error.detail = detail;
+  return reply;
+}
+
+}  // namespace
+
 Reply Client::read_reply() {
-  const auto frame = read_frame(fd_, kDefaultMaxFrameBytes);
+  std::optional<Frame> frame;
+  try {
+    frame = read_frame(fd_, kDefaultMaxFrameBytes);
+  } catch (const ProtocolError& e) {
+    // A torn frame here means the server died mid-send (or a proxy truncated
+    // the stream); a ConnectionLost code is an armed SO_RCVTIMEO expiring.
+    // Both are peer death, not corruption of a healthy stream — surface them
+    // structurally so callers can reconnect and retry.
+    if (e.code() == ErrorCode::MalformedFrame ||
+        e.code() == ErrorCode::ConnectionLost)
+      return connection_lost(e.what());
+    throw;
+  }
   if (!frame)
-    throw std::runtime_error("serve client: connection closed by server");
+    return connection_lost("serve client: connection closed by server");
   Reply reply;
   switch (frame->type) {
     case FrameType::AnalyzeResponse:
@@ -136,9 +176,28 @@ Reply Client::read_reply() {
 }
 
 Reply Client::analyze(std::uint64_t request_id, const Request& req) {
-  if (!send_request(request_id, req))
-    throw std::runtime_error("serve client: server closed the connection");
+  if (!send_request(request_id, req)) {
+    Reply reply = connection_lost("serve client: send failed, peer gone");
+    reply.request_id = request_id;
+    reply.error.request_id = request_id;
+    return reply;
+  }
   return read_reply();
+}
+
+HealthStatus Client::health() {
+  if (!send_raw(make_health_request()))
+    throw ProtocolError(ErrorCode::ConnectionLost,
+                        "serve client: health probe send failed");
+  const auto frame = read_frame(fd_, kDefaultMaxFrameBytes);
+  if (!frame)
+    throw ProtocolError(ErrorCode::ConnectionLost,
+                        "serve client: connection closed during health probe");
+  if (frame->type != FrameType::Health)
+    throw ProtocolError(ErrorCode::MalformedFrame,
+                        "serve client: unexpected health reply type " +
+                            std::to_string(static_cast<int>(frame->type)));
+  return decode_health(frame->payload);
 }
 
 bool Client::send_raw(const Frame& frame) { return write_frame(fd_, frame); }

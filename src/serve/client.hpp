@@ -12,12 +12,17 @@
 #include <string>
 
 #include "serve/codec.hpp"
+#include "serve/health.hpp"
 #include "serve/protocol.hpp"
 
 namespace ind::serve {
 
 /// One decoded server reply: a Response on success, ErrorInfo for Error and
-/// Busy frames (`busy` tells them apart).
+/// Busy frames (`busy` tells them apart). A dead connection — clean EOF,
+/// torn frame, reset, or an armed receive timeout — is a Reply with
+/// `error.code == ErrorCode::ConnectionLost`, never an exception: callers
+/// distinguish peer death (reconnect and retry) from protocol corruption
+/// (ProtocolError still throws for that) without string-matching.
 struct Reply {
   std::uint64_t request_id = 0;
   bool ok = false;
@@ -46,12 +51,29 @@ class Client {
   /// Pipelined send. Returns false when the server is gone.
   bool send_request(std::uint64_t request_id, const Request& req);
 
-  /// Blocks for the next reply frame. Throws ProtocolError on a torn frame
-  /// or unexpected frame type; std::runtime_error on EOF before a reply.
+  /// Blocks for the next reply frame. A dead connection (EOF, torn frame,
+  /// reset, receive timeout) returns a ConnectionLost Reply with
+  /// `request_id == 0` — the caller cannot know which pipelined request it
+  /// would have answered. Throws ProtocolError only for genuine protocol
+  /// corruption (oversized frame, unexpected frame type, hard I/O error).
   Reply read_reply();
 
-  /// Convenience: send one request and wait for its reply.
+  /// Convenience: send one request and wait for its reply. A send to a dead
+  /// peer returns the same ConnectionLost Reply as read_reply().
   Reply analyze(std::uint64_t request_id, const Request& req);
+
+  /// Probe the server's HealthStatus (see serve/health.hpp). Returns a
+  /// ConnectionLost-style failure by throwing ProtocolError(ConnectionLost)
+  /// when the server dies mid-probe.
+  HealthStatus health();
+
+  /// Arms SO_RCVTIMEO on the connection (and on every future connection made
+  /// through this Client) so a stalled server/proxy cannot park read_reply()
+  /// forever; expiry surfaces as a ConnectionLost Reply. 0 disables.
+  void set_recv_timeout_ms(std::uint64_t ms);
+
+  /// Connected socket fd (for poll()-based multiplexing); -1 when closed.
+  int fd() const { return fd_; }
 
   /// Escape hatch for protocol tests: writes a raw frame as-is.
   bool send_raw(const Frame& frame);
@@ -63,8 +85,10 @@ class Client {
 
  private:
   void handshake();
+  void apply_recv_timeout();
 
   int fd_ = -1;
+  std::uint64_t recv_timeout_ms_ = 0;
   std::string server_id_;
 };
 

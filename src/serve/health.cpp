@@ -1,0 +1,47 @@
+#include "serve/health.hpp"
+
+#include "store/format.hpp"
+
+namespace ind::serve {
+
+Frame make_health_request() {
+  Frame f;
+  f.type = FrameType::HealthRequest;
+  return f;
+}
+
+Frame make_health(const HealthStatus& status) {
+  Frame f;
+  f.type = FrameType::Health;
+  store::ByteWriter w;
+  w.u64(status.queue_depth);
+  w.u64(status.inflight);
+  w.u64(status.connections);
+  w.u64(status.cache_entries);
+  w.u64(status.requests);
+  w.u64(status.cache_hits);
+  w.u64(status.executor_ticks);
+  w.u64(status.watchdog_trips);
+  w.u8(status.degraded ? 1 : 0);
+  w.u8(status.draining ? 1 : 0);
+  f.payload = w.take();
+  return f;
+}
+
+HealthStatus decode_health(const std::vector<std::uint8_t>& payload) {
+  store::ByteReader r(payload);
+  HealthStatus s;
+  s.queue_depth = r.u64();
+  s.inflight = r.u64();
+  s.connections = r.u64();
+  s.cache_entries = r.u64();
+  s.requests = r.u64();
+  s.cache_hits = r.u64();
+  s.executor_ticks = r.u64();
+  s.watchdog_trips = r.u64();
+  s.degraded = r.u8() != 0;
+  s.draining = r.u8() != 0;
+  return s;
+}
+
+}  // namespace ind::serve

@@ -1,0 +1,94 @@
+// Server health reporting + executor watchdog.
+//
+// Health frames: a client sends HealthRequest (empty payload) and receives a
+// Health frame carrying a HealthStatus snapshot — queue depth, in-flight
+// count, cache activity, and two liveness signals: `executor_ticks`, a
+// counter the executor advances every time it makes progress (an unchanged
+// value across two probes while `queue_depth > 0` means the executor is
+// wedged), and `watchdog_trips`/`degraded`, the server's own verdict.
+//
+// Watchdog: a pure state machine sampled at a fixed interval by a dedicated
+// server thread (IND_SERVE_WATCHDOG_MS; 0 = disabled). It declares the
+// executor wedged when the tick counter fails to advance across
+// `stall_intervals` consecutive samples *while work is queued* — an idle
+// executor never trips. On the trip transition the server starts shedding
+// new work with Busy (graceful degradation: attached waiters and cache hits
+// still drain) and, when IND_SERVE_WATCHDOG_ABORT=1, fail-stops the process
+// so an orchestrator can restart it. The wedged state clears itself as soon
+// as a sample observes progress (or an empty queue), so a transient stall —
+// one pathological request finally finishing — restores normal admission
+// without a restart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace ind::serve {
+
+/// Snapshot answered to a HealthRequest frame. All counters are
+/// process-lifetime monotonic except the gauges (queue_depth, inflight,
+/// connections, cache_entries) and the two booleans.
+struct HealthStatus {
+  std::uint64_t queue_depth = 0;     ///< flights waiting in the scheduler
+  std::uint64_t inflight = 0;        ///< dedup table size (queued + running)
+  std::uint64_t connections = 0;     ///< live client connections
+  std::uint64_t cache_entries = 0;   ///< in-memory response-cache entries
+  std::uint64_t requests = 0;        ///< serve.requests counter
+  std::uint64_t cache_hits = 0;      ///< serve.cache_hits counter
+  std::uint64_t executor_ticks = 0;  ///< executor progress counter (liveness)
+  std::uint64_t watchdog_trips = 0;  ///< times the watchdog declared a wedge
+  bool degraded = false;             ///< watchdog-tripped; shedding new work
+  bool draining = false;             ///< shutdown in progress
+};
+
+Frame make_health_request();
+Frame make_health(const HealthStatus& status);
+
+/// Decodes a Health payload; throws store::StoreError on truncation.
+HealthStatus decode_health(const std::vector<std::uint8_t>& payload);
+
+/// Wedged-executor detector. Pure state, no clock, no threads: the owner
+/// calls sample() once per interval with the executor's progress counter and
+/// whether work is queued. Deterministically unit-testable.
+class Watchdog {
+ public:
+  /// `stall_intervals`: consecutive no-progress samples (with work queued)
+  /// required to declare a wedge. Clamped to >= 1.
+  explicit Watchdog(int stall_intervals)
+      : stall_intervals_(stall_intervals < 1 ? 1 : stall_intervals) {}
+
+  /// One periodic observation. Returns true exactly on the transition into
+  /// the wedged state (the caller logs/sheds/aborts once per trip).
+  bool sample(std::uint64_t progress_ticks, bool has_work) {
+    const bool progressed = !have_last_ || progress_ticks != last_ticks_;
+    have_last_ = true;
+    last_ticks_ = progress_ticks;
+    if (progressed || !has_work) {
+      stalled_ = 0;
+      wedged_ = false;  // a finished pathological request restores admission
+      return false;
+    }
+    ++stalled_;
+    if (!wedged_ && stalled_ >= stall_intervals_) {
+      wedged_ = true;
+      ++trips_;
+      return true;
+    }
+    return false;
+  }
+
+  bool wedged() const { return wedged_; }
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  int stall_intervals_;
+  std::uint64_t last_ticks_ = 0;
+  bool have_last_ = false;
+  int stalled_ = 0;
+  bool wedged_ = false;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace ind::serve

@@ -27,6 +27,14 @@ std::size_t read_exact(int fd, void* buf, std::size_t n) {
     }
     if (r == 0) return got;  // EOF
     if (errno == EINTR) continue;
+    // A reset peer is a dead peer, not an internal error: report it exactly
+    // like an EOF at this offset so the caller sees a clean/torn close.
+    if (errno == ECONNRESET || errno == ETIMEDOUT) return got;
+    // SO_RCVTIMEO expiry on a blocking socket (clients arm it to bound
+    // slow-loris servers/proxies): structured connection-loss, retryable.
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw ProtocolError(ErrorCode::ConnectionLost,
+                          "serve: read timed out (SO_RCVTIMEO)");
     throw ProtocolError(ErrorCode::Internal,
                         std::string("serve: read failed: ") +
                             std::strerror(errno));
@@ -72,6 +80,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::Internal: return "internal";
     case ErrorCode::QueueFull: return "queue_full";
     case ErrorCode::ShuttingDown: return "shutting_down";
+    case ErrorCode::ConnectionLost: return "connection_lost";
   }
   return "?";
 }

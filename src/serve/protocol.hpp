@@ -60,6 +60,8 @@ enum class FrameType : std::uint8_t {
   AnalyzeResponse = 0x04, ///< server -> client
   Error = 0x05,           ///< server -> client, structured failure
   Busy = 0x06,            ///< server -> client, load shed / shutting down
+  HealthRequest = 0x07,   ///< client -> server, probe liveness/load (no body)
+  Health = 0x08,          ///< server -> client, HealthStatus snapshot
 };
 
 /// Structured error codes carried by Error / Busy frames.
@@ -74,6 +76,11 @@ enum class ErrorCode : std::uint32_t {
   Internal = 7,          ///< unexpected server-side failure
   QueueFull = 8,         ///< per-client or global admission queue full
   ShuttingDown = 9,      ///< server is draining; request not accepted
+  /// Synthesised client-side (never sent on the wire): the connection died —
+  /// clean EOF between frames, a torn frame (peer killed mid-send), a reset,
+  /// or an armed SO_RCVTIMEO expiring. Always safe to retry on a fresh
+  /// connection because the server dedups by request fingerprint.
+  ConnectionLost = 10,
 };
 
 const char* to_string(ErrorCode code);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -69,6 +71,19 @@ ServerConfig ServerConfig::from_env() {
       govern::env_u64("IND_SERVE_RESULT_CACHE", c.result_cache_entries, 0,
                       1u << 20, "serve")
           .value);
+  c.watchdog_interval_ms =
+      govern::env_ms("IND_SERVE_WATCHDOG_MS", c.watchdog_interval_ms, 0,
+                     3'600'000, "serve")
+          .value;
+  c.watchdog_stall_intervals = static_cast<int>(
+      govern::env_u64("IND_SERVE_WATCHDOG_INTERVALS",
+                      static_cast<std::uint64_t>(c.watchdog_stall_intervals),
+                      1, 1000, "serve")
+          .value);
+  c.watchdog_abort =
+      govern::env_u64("IND_SERVE_WATCHDOG_ABORT", c.watchdog_abort ? 1 : 0, 0,
+                      1, "serve")
+          .value != 0;
   return c;
 }
 
@@ -98,10 +113,20 @@ struct Server::Connection {
     std::lock_guard lock(write_mutex);
     if (!alive.load(std::memory_order_relaxed) || fd < 0) return false;
     bool ok = false;
-    try {
-      ok = write_frame(fd, frame);
-    } catch (const ProtocolError&) {
+    // Deterministic chaos hook: a fired serve_send behaves exactly like the
+    // peer vanishing mid-response. Only response frames are in scope — the
+    // handshake must stay deliverable so the call indices are stable.
+    const bool response_frame = frame.type == FrameType::AnalyzeResponse ||
+                                frame.type == FrameType::Error ||
+                                frame.type == FrameType::Busy;
+    if (response_frame && robust::fault::fire(robust::fault::Site::ServeSend)) {
       ok = false;
+    } else {
+      try {
+        ok = write_frame(fd, frame);
+      } catch (const ProtocolError&) {
+        ok = false;
+      }
     }
     if (!ok) alive.store(false, std::memory_order_relaxed);
     return ok;
@@ -179,6 +204,8 @@ void Server::start() {
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
   executor_thread_ = std::thread([this] { executor_loop(); });
+  if (config_.watchdog_interval_ms > 0)
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
 }
 
 void Server::accept_loop() {
@@ -236,40 +263,47 @@ void Server::reap_readers() {
 // reader side
 // ---------------------------------------------------------------------------
 
+void Server::connection_body(const std::shared_ptr<Connection>& conn) {
+  // Handshake: the first frame must be a well-formed Hello. Anything else
+  // gets a structured Error naming why, then the connection closes —
+  // a client built against a different protocol version never reaches the
+  // request decoder.
+  const auto hello = read_frame(conn->fd, config_.max_frame_bytes);
+  if (!hello) return;  // peer died before saying hello
+  ErrorCode verdict = ErrorCode::None;
+  if (hello->type != FrameType::Hello) {
+    verdict = ErrorCode::BadMagic;
+  } else {
+    verdict = check_hello(hello->payload, nullptr);
+  }
+  if (verdict != ErrorCode::None) {
+    count("serve.handshake_rejects");
+    conn->send(make_error(0, verdict, "handshake rejected"));
+    return;
+  }
+  conn->send(make_hello_ack(kServerId));
+
+  while (auto frame = read_frame(conn->fd, config_.max_frame_bytes)) {
+    if (frame->type == FrameType::HealthRequest) {
+      // Answered inline on the reader thread — probes must work even (and
+      // especially) while the executor is wedged.
+      count("serve.health_probes");
+      conn->send(make_health(snapshot_health()));
+      continue;
+    }
+    if (frame->type != FrameType::AnalyzeRequest) {
+      count("serve.protocol_errors");
+      conn->send(make_error(0, ErrorCode::MalformedFrame,
+                            "unexpected frame type"));
+      break;
+    }
+    handle_request(conn, frame->payload);
+  }
+}
+
 void Server::connection_loop(std::shared_ptr<Connection> conn) {
   try {
-    // Handshake: the first frame must be a well-formed Hello. Anything else
-    // gets a structured Error naming why, then the connection closes —
-    // a client built against a different protocol version never reaches the
-    // request decoder.
-    const auto hello = read_frame(conn->fd, config_.max_frame_bytes);
-    if (!hello) {
-      disconnect(conn);
-      return;
-    }
-    ErrorCode verdict = ErrorCode::None;
-    if (hello->type != FrameType::Hello) {
-      verdict = ErrorCode::BadMagic;
-    } else {
-      verdict = check_hello(hello->payload, nullptr);
-    }
-    if (verdict != ErrorCode::None) {
-      count("serve.handshake_rejects");
-      conn->send(make_error(0, verdict, "handshake rejected"));
-      disconnect(conn);
-      return;
-    }
-    conn->send(make_hello_ack(kServerId));
-
-    while (auto frame = read_frame(conn->fd, config_.max_frame_bytes)) {
-      if (frame->type != FrameType::AnalyzeRequest) {
-        count("serve.protocol_errors");
-        conn->send(make_error(0, ErrorCode::MalformedFrame,
-                              "unexpected frame type"));
-        break;
-      }
-      handle_request(conn, frame->payload);
-    }
+    connection_body(conn);
   } catch (const ProtocolError& e) {
     count("serve.protocol_errors");
     conn->send(make_error(0, e.code(), e.what()));
@@ -277,6 +311,10 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
     count("serve.protocol_errors");
     conn->send(make_error(0, ErrorCode::Internal, e.what()));
   }
+  // Every exit path — pre-handshake EOF, handshake reject, clean EOF,
+  // protocol error — funnels through here: a connection that dies during its
+  // handshake must still leave conns_ and queue its reader for reaping, or a
+  // port scanner could grow the connection table without bound.
   disconnect(conn);
   // Retire this connection: drop it from the live set and queue this
   // thread's handle for the accept loop (or shutdown) to join. Must be the
@@ -366,6 +404,15 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
       }
       continue;
     }
+    if (degraded_.load(std::memory_order_relaxed)) {
+      // Watchdog-tripped degradation: the executor is wedged, so queueing
+      // more work only grows an unserviceable backlog. Cache hits and dedup
+      // attaches (above) still drain; fresh computations are shed.
+      count("serve.watchdog_sheds");
+      reply = make_busy(request_id, ErrorCode::QueueFull,
+                        "executor wedged (watchdog); retry later");
+      break;
+    }
     flight->waiters.push_back({conn, request_id, true, now});
     inflight_.emplace(flight->key, flight);
     const Admit admit = scheduler_.push(conn->id, flight);
@@ -423,6 +470,7 @@ void Server::disconnect(const std::shared_ptr<Connection>& conn) {
 void Server::executor_loop() {
   FlightPtr flight;
   while (scheduler_.pop(flight)) {
+    progress_ticks_.fetch_add(1, std::memory_order_relaxed);
     if (config_.before_execute) config_.before_execute();
     {
       std::lock_guard lock(state_mutex_);
@@ -437,12 +485,68 @@ void Server::executor_loop() {
       current_ = flight;
     }
     execute(flight);
+    progress_ticks_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard lock(state_mutex_);
       current_.reset();
     }
     flight.reset();
   }
+}
+
+void Server::watchdog_loop() {
+  Watchdog dog(config_.watchdog_stall_intervals);
+  bool was_wedged = false;
+  std::unique_lock lock(watchdog_mutex_);
+  while (!stopping_.load()) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.watchdog_interval_ms),
+        [this] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    const bool has_work = scheduler_.depth() > 0;
+    if (dog.sample(progress_ticks_.load(std::memory_order_relaxed),
+                   has_work)) {
+      watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+      count("serve.watchdog_trips");
+      std::fprintf(stderr,
+                   "ind_served: watchdog: executor made no progress for %d x "
+                   "%llu ms with work queued; shedding new requests\n",
+                   config_.watchdog_stall_intervals,
+                   static_cast<unsigned long long>(
+                       config_.watchdog_interval_ms));
+      if (config_.watchdog_abort) {
+        std::fflush(nullptr);
+        std::abort();  // fail-stop: let the orchestrator restart us
+      }
+    }
+    if (was_wedged && !dog.wedged()) count("serve.watchdog_recoveries");
+    was_wedged = dog.wedged();
+    degraded_.store(dog.wedged(), std::memory_order_relaxed);
+  }
+}
+
+HealthStatus Server::snapshot_health() {
+  HealthStatus s;
+  s.queue_depth = scheduler_.depth();
+  s.draining = stopping_.load();
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.executor_ticks = progress_ticks_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(state_mutex_);
+    s.inflight = inflight_.size();
+    s.cache_entries = response_cache_.size();
+  }
+  {
+    std::lock_guard lock(conns_mutex_);
+    s.connections = conns_.size();
+  }
+  auto& metrics = runtime::MetricsRegistry::instance();
+  s.requests = static_cast<std::uint64_t>(
+      metrics.counter("serve.requests").value.load());
+  s.cache_hits = static_cast<std::uint64_t>(
+      metrics.counter("serve.cache_hits").value.load());
+  return s;
 }
 
 govern::RunBudget Server::effective_budget(
@@ -625,6 +729,14 @@ void Server::shutdown() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
+
+  // Stop the watchdog before draining: the drain is progress by definition,
+  // and a trip/abort while we are tearing down would be noise.
+  if (watchdog_thread_.joinable()) {
+    { std::lock_guard lock(watchdog_mutex_); }
+    watchdog_cv_.notify_all();
+    watchdog_thread_.join();
+  }
 
   // 2. Stop admission; readers answer new requests with Busy/ShuttingDown.
   scheduler_.shutdown();

@@ -43,6 +43,15 @@
 // for the whole window marks the peer dead, so a client that stops reading
 // can stall the executor for at most one timeout instead of forever.
 //
+// Wedged executor: an optional watchdog thread (IND_SERVE_WATCHDOG_MS)
+// samples the executor's progress counter and, when it stalls across K
+// intervals while work is queued, trips graceful degradation — new work is
+// shed with Busy (`serve.watchdog_sheds`), cache hits and dedup attaches
+// still drain, and IND_SERVE_WATCHDOG_ABORT=1 turns the trip into a
+// fail-stop so an orchestrator restarts the process. HealthRequest frames
+// are answered inline by the reader with a HealthStatus snapshot, so health
+// probes work even while the executor is wedged. See serve/health.hpp.
+//
 // Graceful shutdown (SIGINT/SIGTERM in ind_served): admission stops (new
 // requests get Busy/ShuttingDown), queued work drains through the executor
 // for up to IND_SERVE_DRAIN_MS, anything still pending past the deadline is
@@ -54,6 +63,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -66,6 +76,7 @@
 
 #include "govern/budget.hpp"
 #include "serve/codec.hpp"
+#include "serve/health.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 
@@ -92,6 +103,16 @@ struct ServerConfig {
   /// In-memory response cache capacity in entries; 0 disables it (the
   /// on-disk artifact cache, when configured, is still consulted).
   std::size_t result_cache_entries = 512;  ///< IND_SERVE_RESULT_CACHE
+
+  /// Executor watchdog (see serve/health.hpp). Sampling interval in ms;
+  /// 0 (the default) disables the watchdog thread entirely.
+  std::uint64_t watchdog_interval_ms = 0;  ///< IND_SERVE_WATCHDOG_MS
+  /// Consecutive no-progress samples (while work is queued) before the
+  /// executor is declared wedged and new work is shed with Busy.
+  int watchdog_stall_intervals = 3;        ///< IND_SERVE_WATCHDOG_INTERVALS
+  /// Fail-stop on a watchdog trip (std::abort) so an orchestrator restarts
+  /// the process instead of letting it limp along shedding forever.
+  bool watchdog_abort = false;             ///< IND_SERVE_WATCHDOG_ABORT
 
   /// Test hook: runs on the executor thread after a flight is popped and
   /// *before* waiters are checked or the analysis starts. Lets tests hold
@@ -125,6 +146,13 @@ class Server {
   /// blocks until every thread is joined and the cache is flushed.
   void shutdown();
 
+  /// Point-in-time health snapshot (also answered to HealthRequest frames).
+  HealthStatus snapshot_health();
+
+  /// True while the watchdog considers the executor wedged (new work is
+  /// being shed with Busy until progress resumes).
+  bool degraded() const { return degraded_.load(); }
+
  private:
   struct Connection;
   struct InFlight;
@@ -132,6 +160,9 @@ class Server {
 
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
+  /// Handshake + frame loop; early returns are fine — connection_loop runs
+  /// the disconnect/retire cleanup on every exit path.
+  void connection_body(const std::shared_ptr<Connection>& conn);
   void handle_request(const std::shared_ptr<Connection>& conn,
                       const std::vector<std::uint8_t>& payload);
   void disconnect(const std::shared_ptr<Connection>& conn);
@@ -140,6 +171,7 @@ class Server {
   void reap_readers();
   void executor_loop();
   void execute(const FlightPtr& flight);
+  void watchdog_loop();
 
   /// In-memory response-cache probe. Caller holds state_mutex_.
   bool cache_probe(const store::Digest& fp, std::vector<std::uint8_t>* result,
@@ -181,6 +213,16 @@ class Server {
   std::mutex conns_mutex_;
   std::vector<std::shared_ptr<Connection>> conns_;  ///< live connections only
   std::uint64_t next_conn_id_ = 1;
+
+  /// Executor liveness: bumped whenever the executor makes observable
+  /// progress (popping a flight, finishing an analysis). The watchdog trips
+  /// when this stalls across K samples while the scheduler holds work.
+  std::atomic<std::uint64_t> progress_ticks_{0};
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_thread_;
 
   std::thread accept_thread_;
   std::thread executor_thread_;

@@ -44,7 +44,99 @@ void ArtifactCache::configure(std::string dir, std::uint64_t max_bytes) {
   if (ec) {
     runtime::MetricsRegistry::instance().add_count("store.dir_failures", 1);
     dir_.clear();  // unusable directory: run with the cache off
+    return;
   }
+  // Crash recovery on every (re)configure: a previous process killed
+  // mid-write must never poison this one.
+  recover_locked();
+}
+
+ArtifactCache::RecoveryReport ArtifactCache::recover() {
+  std::scoped_lock lock(g_mutex);
+  return recover_locked();
+}
+
+namespace {
+
+/// Parses the 32-hex fingerprint out of `<kind>-<32hex>.art`. Returns false
+/// for names that do not follow the cache's naming scheme (foreign files are
+/// validated by checksums alone).
+bool digest_from_name(const std::string& stem, Digest* out) {
+  const std::size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || stem.size() - dash - 1 != 32) return false;
+  std::uint64_t halves[2] = {0, 0};
+  for (int half = 0; half < 2; ++half) {
+    for (int k = 0; k < 16; ++k) {
+      const char c = stem[dash + 1 + static_cast<std::size_t>(half * 16 + k)];
+      std::uint64_t nibble;
+      if (c >= '0' && c <= '9') nibble = static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+      else
+        return false;
+      halves[half] = (halves[half] << 4) | nibble;
+    }
+  }
+  out->hi = halves[0];
+  out->lo = halves[1];
+  return true;
+}
+
+}  // namespace
+
+ArtifactCache::RecoveryReport ArtifactCache::recover_locked() {
+  RecoveryReport report;
+  if (dir_.empty()) return report;
+  auto& metrics = runtime::MetricsRegistry::instance();
+  const fs::path qdir = fs::path(dir_) / "quarantine";
+  std::error_code ec;
+  // One quarantine generation: the previous sweep's exhibits made it through
+  // a full process lifetime without anyone asking for them.
+  fs::remove_all(qdir, ec);
+
+  const auto quarantine = [&](const fs::path& p, const std::string& why) {
+    std::error_code qec;
+    fs::create_directories(qdir, qec);
+    fs::rename(p, qdir / p.filename(), qec);
+    if (qec) fs::remove(p, qec);  // quarantine unusable: drop the file
+    metrics.add_count("store.quarantined", 1);
+    metrics.add_count("store.quarantined." + why, 1);
+  };
+
+  std::vector<fs::path> tmps, arts;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (ec) return report;
+    std::error_code fec;
+    if (!de.is_regular_file(fec)) continue;
+    const std::string name = de.path().filename().string();
+    if (name.find(".tmp") != std::string::npos)
+      tmps.push_back(de.path());
+    else if (de.path().extension() == ".art")
+      arts.push_back(de.path());
+  }
+
+  for (const fs::path& p : tmps) {
+    // An orphaned temp file is a writer that died between open and rename —
+    // by construction it may be torn, so it never graduates to .art.
+    quarantine(p, "tmp");
+    ++report.quarantined_tmp;
+  }
+  for (const fs::path& p : arts) {
+    ++report.scanned;
+    Digest want;
+    const bool have_want = digest_from_name(p.stem().string(), &want);
+    try {
+      (void)read_artifact(p.string(), have_want ? &want : nullptr);
+      ++report.recovered;
+      metrics.add_count("store.recovered", 1);
+    } catch (const StoreError& e) {
+      quarantine(p, to_string(e.code()));
+      ++report.quarantined_corrupt;
+    }
+  }
+  return report;
 }
 
 std::string ArtifactCache::path_for(const std::string& kind,

@@ -17,6 +17,12 @@
 //                 fallback is surfaced through robust::SolveReport as an
 //                 ArtifactRecompute recovery action, never a crash
 //   fault site    IND_FAULT_INJECT=store_read@N forces the corruption path
+//   recovery      every configure() (so: every startup with IND_CACHE_DIR)
+//                 sweeps the directory: orphaned .tmp partial writes and
+//                 entries failing validation move to quarantine/ —
+//                 store.recovered / store.quarantined[.*] counters;
+//                 IND_FAULT_INJECT=store_write@N leaves a torn .tmp behind
+//                 exactly like a kill -9 mid-commit
 //
 // Metrics: store.hits / store.misses / store.corrupt[.*] / store.evictions /
 // store.evicted_bytes counters and store.{serialize,deserialize,read,write}
@@ -58,7 +64,26 @@ class ArtifactCache {
   std::string path_for(const std::string& kind, const Digest& fp) const;
 
   /// Test hooks: reconfigure at runtime. An empty dir disables the cache.
+  /// Runs a recover() sweep over the new directory (see below).
   void configure(std::string dir, std::uint64_t max_bytes = kDefaultMaxBytes);
+
+  struct RecoveryReport {
+    std::uint64_t scanned = 0;           ///< .art files examined
+    std::uint64_t recovered = 0;         ///< intact entries kept
+    std::uint64_t quarantined_tmp = 0;   ///< orphaned .tmp* partial writes
+    std::uint64_t quarantined_corrupt = 0;  ///< checksum/decode failures
+  };
+
+  /// Crash-recovery sweep: moves orphaned `.tmp*` partial writes (a writer
+  /// died between open and rename) and `.art` entries that fail full
+  /// validation (checksums + name-embedded fingerprint) into a
+  /// `quarantine/` subdirectory, keeping everything intact. Counted as
+  /// store.recovered / store.quarantined[.tmp|.<errc>]. Runs automatically
+  /// from configure() — i.e. at every process start with IND_CACHE_DIR set —
+  /// so a kill -9 mid-write can never poison later runs; quarantined files
+  /// are kept for one generation (the next sweep clears the subdirectory)
+  /// for post-mortem inspection.
+  RecoveryReport recover();
 
   static constexpr std::uint64_t kDefaultMaxBytes = 1ULL << 30;  // 1 GiB
   /// IND_CACHE_MAX_BYTES outside [1 MiB, 1 TiB] is a misconfiguration, not a
@@ -70,6 +95,7 @@ class ArtifactCache {
  private:
   ArtifactCache();
   void evict_to_cap(const std::string& keep_path);
+  RecoveryReport recover_locked();
 
   std::string dir_;
   std::uint64_t max_bytes_ = kDefaultMaxBytes;

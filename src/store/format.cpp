@@ -1,12 +1,16 @@
 #include "store/format.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "robust/fault_injection.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ind::store {
@@ -139,25 +143,70 @@ void write_artifact(const std::string& path, const Artifact& a) {
   runtime::ScopedTimer t("store.write");
   namespace fs = std::filesystem;
   const std::string tmp = path + ".tmp" + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw StoreError(StoreErrc::IoError, "cannot open '" + tmp + "'");
-    out.write(reinterpret_cast<const char*>(image.data()),
-              static_cast<std::streamsize>(image.size()));
-    out.flush();
-    if (!out) {
-      out.close();
+
+  // Crash-safe commit: write + fsync the temp file, rename over the final
+  // name, then fsync the directory so the rename itself is durable. A crash
+  // at any point leaves either the old state or a `.tmp` orphan — never a
+  // half-written `.art` — and ArtifactCache::recover() quarantines orphans
+  // at the next startup.
+  //
+  // Deterministic chaos hook: a fired store_write commits only half the
+  // image to the temp file and aborts before the rename — exactly the
+  // on-disk state a kill -9 mid-write leaves behind.
+  const bool torn = robust::fault::fire(robust::fault::Site::StoreWrite);
+  const std::size_t commit_bytes = torn ? image.size() / 2 : image.size();
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0)
+    throw StoreError(StoreErrc::IoError, "cannot open '" + tmp + "': " +
+                                             std::strerror(errno));
+  std::size_t written = 0;
+  while (written < commit_bytes) {
+    const ssize_t r =
+        ::write(fd, image.data() + written, commit_bytes - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
       std::error_code ec;
       fs::remove(tmp, ec);
-      throw StoreError(StoreErrc::IoError, "short write to '" + tmp + "'");
+      throw StoreError(StoreErrc::IoError,
+                       "short write to '" + tmp + "': " + why);
     }
+    written += static_cast<std::size_t>(r);
   }
+  if (torn) {
+    ::close(fd);  // leave the partial .tmp behind, like a crashed writer
+    throw StoreError(StoreErrc::IoError,
+                     "store_write fault injected: torn write left at '" + tmp +
+                         "'");
+  }
+  if (::fsync(fd) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw StoreError(StoreErrc::IoError, "fsync '" + tmp + "': " + why);
+  }
+  ::close(fd);
+
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     throw StoreError(StoreErrc::IoError, "rename to '" + path + "' failed");
+  }
+  // fsync the parent directory: the rename is not durable until the
+  // directory metadata reaches disk. Best-effort — some filesystems refuse
+  // O_RDONLY directory fsyncs; the tmp+rename ordering above already
+  // guarantees we can never observe a torn final file.
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   runtime::MetricsRegistry::instance().add_count(
       "store.write_bytes", static_cast<std::int64_t>(image.size()));

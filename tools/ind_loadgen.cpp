@@ -3,6 +3,9 @@
 //   ind_loadgen --port N [--host ADDR | --uds PATH]
 //               [--clients C] [--outstanding K] [--requests R]
 //               [--distinct D] [--spec "flow=... seg_um=..."]
+//               [--retries N] [--backoff-ms MS] [--deadline-ms MS]
+//               [--recv-timeout-ms MS] [--hedge-ms MS]
+//               [--chaos] [--kill-pid PID --kill-after-ms MS]
 //               [--out BENCH_serve.json]
 //
 // Replays a mixed layout workload: D distinct request bodies (small
@@ -12,10 +15,28 @@
 // therefore C*K in-flight requests against D distinct computations — the
 // shape that exercises the server's in-flight dedup and response cache.
 //
-// Emits a BENCH-style JSON with client-observed p50/p99 latency, throughput,
-// how each request was served (computed / coalesced / cache), and rejection
-// counts, under a top-level "serve" object that tools/perf_guard.py gates.
+// Resolution semantics: a request is *resolved* when it produces an ok
+// response or a terminal structured error. Busy sheds and connection losses
+// are retried up to --retries times with exponential backoff, so the JSON
+// reflects goodput (time-to-resolution percentiles, attempts histogram,
+// retry/reconnect counts), not first-attempt luck.
+//
+// Correctness oracle: every ok response's RESULT block is digested and
+// compared against the first response observed for the same request body —
+// the kernels are bitwise-deterministic, so any divergence ("wrong_results")
+// means the serving stack returned a wrong answer. This is the property the
+// chaos harness gates on.
+//
+// --chaos mode drives each client through serve::ResilientClient
+// (sequential, one request at a time, deterministic backoff jitter, circuit
+// breaker, optional hedging) — built to run against an ind_chaos proxy
+// and/or a server that is being killed and restarted mid-run
+// (--kill-pid/--kill-after-ms sends SIGKILL from inside the load window).
+// Exit 0 in chaos mode means: every request resolved, zero wrong results —
+// terminal Busy/ConnectionLost outcomes are legal (the server was genuinely
+// down), hangs and wrong answers are not.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,18 +44,26 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <poll.h>
+#include <signal.h>
+
 #include "geom/topologies.hpp"
 #include "serve/client.hpp"
 #include "serve/codec.hpp"
+#include "serve/resilient_client.hpp"
 #include "store/format.hpp"
+#include "store/hash.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kAttemptsHistSlots = 9;  // [1..8], slot 8 = "8+"
 
 struct Args {
   std::string host = "127.0.0.1";
@@ -46,6 +75,15 @@ struct Args {
   int distinct = 4;
   std::string spec = "flow=peec_rlc seg_um=200 t_stop=0.5e-9 dt=5e-12";
   std::string out = "BENCH_serve.json";
+
+  int retries = 2;                    ///< extra attempts after the first
+  std::uint64_t backoff_ms = 5;       ///< base backoff (doubles per attempt)
+  std::uint64_t deadline_ms = 30'000; ///< per-request budget (chaos mode)
+  std::uint64_t recv_timeout_ms = 0;  ///< 0: off (chaos mode defaults 5000)
+  std::uint64_t hedge_ms = 0;         ///< hedged requests (chaos mode)
+  bool chaos = false;
+  long kill_pid = 0;
+  std::uint64_t kill_after_ms = 0;
 };
 
 /// Workload: D distinct small Figure-1 testbenches. The grid extent varies
@@ -66,89 +104,331 @@ ind::serve::Request make_request(const Args& args, int index) {
   return req;
 }
 
+/// Bitwise-correctness oracle: the first ok response for a body index pins
+/// the expected RESULT digest; any later divergence is a wrong result.
+struct Oracle {
+  std::mutex mu;
+  std::vector<bool> have;
+  std::vector<ind::store::Digest> expected;
+
+  explicit Oracle(std::size_t bodies) : have(bodies), expected(bodies) {}
+
+  bool check(std::size_t body, const std::vector<std::uint8_t>& result) {
+    const ind::store::Digest d =
+        ind::store::hash_bytes(result.data(), result.size());
+    std::lock_guard lock(mu);
+    if (!have[body]) {
+      have[body] = true;
+      expected[body] = d;
+      return true;
+    }
+    return expected[body] == d;
+  }
+};
+
 struct ClientStats {
-  std::vector<double> latencies_ms;
+  std::vector<double> latencies_ms;  ///< time-to-resolution of ok requests
   std::uint64_t ok = 0;
   std::uint64_t computed = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t cache = 0;
-  std::uint64_t busy = 0;
-  std::uint64_t errors = 0;
+  std::uint64_t busy = 0;        ///< terminal Busy (retries exhausted)
+  std::uint64_t errors = 0;      ///< terminal structured errors
+  std::uint64_t connlost = 0;    ///< terminal connection-lost
+  std::uint64_t unresolved = 0;  ///< no terminal outcome (must stay 0)
+  std::uint64_t wrong = 0;       ///< RESULT digest diverged from the oracle
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t hedges = 0;
+  std::array<std::uint64_t, kAttemptsHistSlots> attempts_hist{};
 };
+
+void record_attempts(ClientStats& stats, int attempts) {
+  const auto slot = static_cast<std::size_t>(
+      std::clamp(attempts, 1, static_cast<int>(kAttemptsHistSlots) - 1));
+  ++stats.attempts_hist[slot];
+}
+
+std::uint64_t backoff_for(const Args& args, int completed_attempts) {
+  std::uint64_t ms = args.backoff_ms;
+  for (int k = 1; k < completed_attempts && ms < 2000; ++k) ms <<= 1;
+  return std::min<std::uint64_t>(ms, 2000);
+}
+
+bool poll_readable(int fd, std::uint64_t timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&p, 1, static_cast<int>(timeout_ms));
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0;
+  }
+}
+
+bool connect_with_retry(ind::serve::Client& client, const Args& args,
+                        int client_index) {
+  for (int attempt = 0; attempt <= args.retries; ++attempt) {
+    try {
+      if (!args.uds.empty())
+        client.connect_uds(args.uds);
+      else
+        client.connect_tcp(args.host, args.port);
+      if (args.recv_timeout_ms > 0)
+        client.set_recv_timeout_ms(args.recv_timeout_ms);
+      return true;
+    } catch (const std::exception& e) {
+      if (attempt == args.retries) {
+        std::fprintf(stderr, "loadgen client %d: connect: %s\n", client_index,
+                     e.what());
+        return false;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_for(args, attempt + 1)));
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// pipelined mode (direct connection): K outstanding, Busy/conn-loss retried
+// ---------------------------------------------------------------------------
 
 void run_client(const Args& args, int client_index,
                 const std::vector<std::vector<std::uint8_t>>& bodies,
-                ClientStats& stats) {
+                ClientStats& stats, Oracle& oracle) {
   ind::serve::Client client;
-  try {
-    if (!args.uds.empty())
-      client.connect_uds(args.uds);
-    else
-      client.connect_tcp(args.host, args.port);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "loadgen client %d: %s\n", client_index, e.what());
-    stats.errors += static_cast<std::uint64_t>(args.requests);
+  if (!connect_with_retry(client, args, client_index)) {
+    stats.connlost += static_cast<std::uint64_t>(args.requests);
     return;
   }
 
-  std::vector<Clock::time_point> sent(
-      static_cast<std::size_t>(args.requests));
-  int next_send = 0, done = 0, outstanding = 0;
-  while (done < args.requests) {
-    while (next_send < args.requests && outstanding < args.outstanding) {
-      // Spread the distinct bodies across clients so neighbours ask for
-      // different layouts at the same moment (a mixed workload, not D
-      // synchronized waves).
-      const auto& body =
-          bodies[static_cast<std::size_t>(client_index + next_send) %
-                 bodies.size()];
-      ind::serve::Frame f;
-      f.type = ind::serve::FrameType::AnalyzeRequest;
-      f.payload.reserve(8 + body.size());
-      const auto id = static_cast<std::uint64_t>(next_send);
-      for (int b = 0; b < 8; ++b)
-        f.payload.push_back(static_cast<std::uint8_t>(id >> (8 * b)));
-      f.payload.insert(f.payload.end(), body.begin(), body.end());
-      sent[static_cast<std::size_t>(next_send)] = Clock::now();
-      if (!client.send_raw(f)) {
-        stats.errors +=
-            static_cast<std::uint64_t>(args.requests - done);
-        return;
-      }
-      ++next_send;
-      ++outstanding;
-    }
-    try {
-      const ind::serve::Reply reply = client.read_reply();
-      const auto now = Clock::now();
-      ++done;
+  struct Pending {
+    Clock::time_point first_sent{};
+    Clock::time_point retry_at{};
+    int attempts = 0;
+    bool resolved = false;
+    bool in_flight = false;
+    bool retry_pending = false;
+  };
+  std::vector<Pending> reqs(static_cast<std::size_t>(args.requests));
+  int next_send = 0, resolved = 0, outstanding = 0;
+
+  const auto body_of = [&](int idx) -> const std::vector<std::uint8_t>& {
+    // Spread the distinct bodies across clients so neighbours ask for
+    // different layouts at the same moment (a mixed workload, not D
+    // synchronized waves).
+    return bodies[static_cast<std::size_t>(client_index + idx) %
+                  bodies.size()];
+  };
+  const auto send_one = [&](int idx) -> bool {
+    const auto& body = body_of(idx);
+    ind::serve::Frame f;
+    f.type = ind::serve::FrameType::AnalyzeRequest;
+    f.payload.reserve(8 + body.size());
+    const auto id = static_cast<std::uint64_t>(idx);
+    for (int b = 0; b < 8; ++b)
+      f.payload.push_back(static_cast<std::uint8_t>(id >> (8 * b)));
+    f.payload.insert(f.payload.end(), body.begin(), body.end());
+    Pending& p = reqs[static_cast<std::size_t>(idx)];
+    if (p.attempts == 0) p.first_sent = Clock::now();
+    ++p.attempts;
+    p.in_flight = true;
+    p.retry_pending = false;
+    return client.send_raw(f);
+  };
+  const auto resolve = [&](int idx) -> Pending& {
+    Pending& p = reqs[static_cast<std::size_t>(idx)];
+    p.resolved = true;
+    p.in_flight = false;
+    record_attempts(stats, p.attempts);
+    ++resolved;
+    return p;
+  };
+
+  // Connection loss: close, requeue every in-flight request that still has
+  // retry budget (its reply, if any, died with the socket), reconnect.
+  const auto handle_conn_loss = [&]() -> bool {
+    client.close();
+    ++stats.reconnects;
+    const auto now = Clock::now();
+    for (int i = 0; i < args.requests; ++i) {
+      Pending& p = reqs[static_cast<std::size_t>(i)];
+      if (p.resolved || !p.in_flight) continue;
+      p.in_flight = false;
       --outstanding;
-      if (reply.request_id < sent.size()) {
-        const double ms =
-            std::chrono::duration<double, std::milli>(
-                now - sent[static_cast<std::size_t>(reply.request_id)])
-                .count();
-        stats.latencies_ms.push_back(ms);
-      }
-      if (reply.ok) {
-        ++stats.ok;
-        using ServedBy = ind::serve::Response::ServedBy;
-        switch (reply.response.served_by) {
-          case ServedBy::Computed: ++stats.computed; break;
-          case ServedBy::Coalesced: ++stats.coalesced; break;
-          case ServedBy::Cache: ++stats.cache; break;
-        }
-      } else if (reply.busy) {
-        ++stats.busy;
+      if (p.attempts <= args.retries) {
+        ++stats.retries;
+        p.retry_pending = true;
+        p.retry_at = now + std::chrono::milliseconds(
+                               backoff_for(args, p.attempts));
       } else {
-        ++stats.errors;
+        resolve(i);
+        ++stats.connlost;
       }
+    }
+    if (!connect_with_retry(client, args, client_index)) {
+      for (int i = 0; i < args.requests; ++i) {
+        Pending& p = reqs[static_cast<std::size_t>(i)];
+        if (p.resolved) continue;
+        if (p.attempts == 0) p.attempts = 1;  // never even sent
+        resolve(i);
+        ++stats.connlost;
+      }
+      return false;
+    }
+    return true;
+  };
+
+  while (resolved < args.requests) {
+    const auto now = Clock::now();
+    bool lost = false;
+
+    // 1. Resend retries that are due.
+    for (int i = 0; i < args.requests && !lost; ++i) {
+      Pending& p = reqs[static_cast<std::size_t>(i)];
+      if (p.resolved || p.in_flight || !p.retry_pending || p.retry_at > now)
+        continue;
+      if (send_one(i)) ++outstanding;
+      else lost = true;
+    }
+    // 2. Pipeline fresh requests up to the outstanding cap.
+    while (!lost && next_send < args.requests &&
+           outstanding < args.outstanding) {
+      if (send_one(next_send)) ++outstanding;
+      else lost = true;
+      ++next_send;
+    }
+    if (lost) {
+      if (!handle_conn_loss()) return;
+      continue;
+    }
+    if (outstanding == 0) {
+      // Nothing on the wire: we are waiting out a backoff.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    // 3. Wait briefly for a reply (short timeout so due retries get sent).
+    if (!poll_readable(client.fd(), 50)) continue;
+
+    ind::serve::Reply reply;
+    try {
+      reply = client.read_reply();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "loadgen client %d: %s\n", client_index, e.what());
-      stats.errors += static_cast<std::uint64_t>(args.requests - done);
-      return;
+      if (!handle_conn_loss()) return;
+      continue;
+    }
+    if (!reply.ok && reply.error.code == ind::serve::ErrorCode::ConnectionLost) {
+      if (!handle_conn_loss()) return;
+      continue;
+    }
+    const auto idx = static_cast<int>(reply.request_id);
+    if (idx < 0 || idx >= args.requests ||
+        !reqs[static_cast<std::size_t>(idx)].in_flight)
+      continue;  // stale/unknown id: ignore
+    Pending& p = reqs[static_cast<std::size_t>(idx)];
+
+    if (reply.ok) {
+      --outstanding;
+      resolve(idx);
+      ++stats.ok;
+      stats.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    p.first_sent)
+              .count());
+      using ServedBy = ind::serve::Response::ServedBy;
+      switch (reply.response.served_by) {
+        case ServedBy::Computed: ++stats.computed; break;
+        case ServedBy::Coalesced: ++stats.coalesced; break;
+        case ServedBy::Cache: ++stats.cache; break;
+      }
+      if (!oracle.check(static_cast<std::size_t>(client_index + idx) %
+                            bodies.size(),
+                        reply.response.result_bytes))
+        ++stats.wrong;
+    } else if (reply.busy && p.attempts <= args.retries) {
+      // Shed under load: schedule a retry instead of counting a failure.
+      --outstanding;
+      p.in_flight = false;
+      ++stats.retries;
+      p.retry_pending = true;
+      p.retry_at =
+          Clock::now() + std::chrono::milliseconds(backoff_for(args,
+                                                               p.attempts));
+    } else {
+      --outstanding;
+      resolve(idx);
+      if (reply.busy) ++stats.busy;
+      else ++stats.errors;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// chaos mode: sequential ResilientClient per client thread
+// ---------------------------------------------------------------------------
+
+void run_client_chaos(const Args& args, int client_index,
+                      const std::vector<ind::serve::Request>& pool,
+                      ClientStats& stats, Oracle& oracle) {
+  ind::serve::Endpoint ep;
+  ep.host = args.host;
+  ep.tcp_port = args.port;
+  ep.uds_path = args.uds;
+  ind::serve::RetryPolicy policy;
+  policy.max_attempts = args.retries + 1;
+  policy.base_backoff_ms = args.backoff_ms;
+  policy.deadline_ms = args.deadline_ms;
+  policy.recv_timeout_ms =
+      args.recv_timeout_ms > 0 ? args.recv_timeout_ms : 5000;
+  policy.hedge_after_ms = args.hedge_ms;
+  ind::serve::ResilientClient client(ep, policy);
+
+  for (int r = 0; r < args.requests; ++r) {
+    const std::size_t body =
+        static_cast<std::size_t>(client_index + r) % pool.size();
+    ind::serve::CallOutcome outcome;
+    try {
+      outcome = client.analyze(static_cast<std::uint64_t>(r), pool[body]);
+    } catch (const std::exception& e) {
+      // Genuine protocol corruption — in a chaos run this is a finding, not
+      // noise. Everything this client never resolved counts against the
+      // gate.
+      std::fprintf(stderr, "loadgen client %d: %s\n", client_index, e.what());
+      stats.unresolved += static_cast<std::uint64_t>(args.requests - r);
+      break;
+    }
+    record_attempts(stats, std::max(outcome.attempts, 1));
+    if (outcome.ok) {
+      ++stats.ok;
+      stats.latencies_ms.push_back(outcome.elapsed_ms);
+      using ServedBy = ind::serve::Response::ServedBy;
+      switch (outcome.reply.response.served_by) {
+        case ServedBy::Computed: ++stats.computed; break;
+        case ServedBy::Coalesced: ++stats.coalesced; break;
+        case ServedBy::Cache: ++stats.cache; break;
+      }
+      if (!oracle.check(body, outcome.reply.response.result_bytes))
+        ++stats.wrong;
+    } else {
+      switch (outcome.reply.error.code) {
+        case ind::serve::ErrorCode::QueueFull:
+        case ind::serve::ErrorCode::ShuttingDown:
+          ++stats.busy;
+          break;
+        case ind::serve::ErrorCode::ConnectionLost:
+          ++stats.connlost;
+          break;
+        default:
+          ++stats.errors;
+          break;
+      }
+    }
+  }
+  stats.retries += client.total_retries();
+  stats.reconnects += client.total_reconnects();
+  stats.hedges += client.total_hedges();
 }
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -180,11 +460,22 @@ int main(int argc, char** argv) {
     else if (arg == "--distinct") args.distinct = std::atoi(next());
     else if (arg == "--spec") args.spec = next();
     else if (arg == "--out") args.out = next();
+    else if (arg == "--retries") args.retries = std::atoi(next());
+    else if (arg == "--backoff-ms") args.backoff_ms = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--deadline-ms") args.deadline_ms = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--recv-timeout-ms") args.recv_timeout_ms = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--hedge-ms") args.hedge_ms = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--chaos") args.chaos = true;
+    else if (arg == "--kill-pid") args.kill_pid = std::atol(next());
+    else if (arg == "--kill-after-ms") args.kill_after_ms = std::strtoull(next(), nullptr, 10);
     else {
       std::fprintf(stderr,
                    "usage: ind_loadgen --port N [--host ADDR | --uds PATH] "
                    "[--clients C] [--outstanding K] [--requests R] "
-                   "[--distinct D] [--spec S] [--out FILE]\n");
+                   "[--distinct D] [--spec S] [--retries N] [--backoff-ms MS] "
+                   "[--deadline-ms MS] [--recv-timeout-ms MS] [--hedge-ms MS] "
+                   "[--chaos] [--kill-pid PID --kill-after-ms MS] "
+                   "[--out FILE]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -195,22 +486,45 @@ int main(int argc, char** argv) {
 
   // Pre-encode the distinct request bodies once; every client replays from
   // this pool, so identical indices are bitwise-identical on the wire.
+  std::vector<ind::serve::Request> pool;
   std::vector<std::vector<std::uint8_t>> bodies;
   for (int d = 0; d < args.distinct; ++d) {
+    pool.push_back(make_request(args, d));
     ind::store::ByteWriter w;
-    ind::serve::put_request(w, make_request(args, d));
+    ind::serve::put_request(w, pool.back());
     bodies.push_back(w.take());
+  }
+  Oracle oracle(bodies.size());
+
+  // Optional mid-run server kill (the chaos-recovery scenario): SIGKILL the
+  // given pid while the load window is open, from a helper thread.
+  std::thread killer;
+  if (args.kill_pid > 0 && args.kill_after_ms > 0) {
+    killer = std::thread([&args] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(args.kill_after_ms));
+      ::kill(static_cast<pid_t>(args.kill_pid), SIGKILL);
+      std::fprintf(stderr, "ind_loadgen: sent SIGKILL to %ld\n",
+                   args.kill_pid);
+    });
   }
 
   std::vector<ClientStats> stats(static_cast<std::size_t>(args.clients));
   std::vector<std::thread> threads;
   const auto started = Clock::now();
-  for (int c = 0; c < args.clients; ++c)
-    threads.emplace_back(run_client, std::cref(args), c, std::cref(bodies),
-                         std::ref(stats[static_cast<std::size_t>(c)]));
+  for (int c = 0; c < args.clients; ++c) {
+    ClientStats& s = stats[static_cast<std::size_t>(c)];
+    if (args.chaos)
+      threads.emplace_back(run_client_chaos, std::cref(args), c,
+                           std::cref(pool), std::ref(s), std::ref(oracle));
+    else
+      threads.emplace_back(run_client, std::cref(args), c, std::cref(bodies),
+                           std::ref(s), std::ref(oracle));
+  }
   for (std::thread& t : threads) t.join();
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - started).count();
+  if (killer.joinable()) killer.join();
 
   ClientStats total;
   for (const ClientStats& s : stats) {
@@ -222,6 +536,14 @@ int main(int argc, char** argv) {
     total.cache += s.cache;
     total.busy += s.busy;
     total.errors += s.errors;
+    total.connlost += s.connlost;
+    total.unresolved += s.unresolved;
+    total.wrong += s.wrong;
+    total.retries += s.retries;
+    total.reconnects += s.reconnects;
+    total.hedges += s.hedges;
+    for (std::size_t k = 0; k < kAttemptsHistSlots; ++k)
+      total.attempts_hist[k] += s.attempts_hist[k];
   }
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
   const double p50 = percentile(total.latencies_ms, 0.50);
@@ -236,43 +558,60 @@ int main(int argc, char** argv) {
                          static_cast<double>(total.ok)
                    : 0.0;
 
-  char buf[2048];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\n"
-      "  \"schema_version\": 1,\n"
-      "  \"bench\": \"serve\",\n"
-      "  \"serve\": {\n"
-      "    \"clients\": %d,\n"
-      "    \"outstanding_per_client\": %d,\n"
-      "    \"concurrent_requests\": %d,\n"
-      "    \"distinct_bodies\": %d,\n"
-      "    \"requests_sent\": %llu,\n"
-      "    \"ok\": %llu,\n"
-      "    \"computed\": %llu,\n"
-      "    \"coalesced\": %llu,\n"
-      "    \"cache_hits\": %llu,\n"
-      "    \"busy_rejected\": %llu,\n"
-      "    \"errors\": %llu,\n"
-      "    \"dedup_hit_rate\": %.4f,\n"
-      "    \"p50_ms\": %.3f,\n"
-      "    \"p99_ms\": %.3f,\n"
-      "    \"throughput_rps\": %.1f,\n"
-      "    \"wall_s\": %.3f\n"
-      "  }\n"
-      "}\n",
-      args.clients, args.outstanding, args.clients * args.outstanding,
-      args.distinct, static_cast<unsigned long long>(sent_total),
-      static_cast<unsigned long long>(total.ok),
-      static_cast<unsigned long long>(total.computed),
-      static_cast<unsigned long long>(total.coalesced),
-      static_cast<unsigned long long>(total.cache),
-      static_cast<unsigned long long>(total.busy),
-      static_cast<unsigned long long>(total.errors), dedup_rate, p50, p99,
-      throughput, wall_s);
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"bench\": \"serve\",\n"
+       << "  \"serve\": {\n"
+       << "    \"clients\": " << args.clients << ",\n"
+       << "    \"outstanding_per_client\": " << args.outstanding << ",\n"
+       << "    \"concurrent_requests\": " << args.clients * args.outstanding
+       << ",\n"
+       << "    \"distinct_bodies\": " << args.distinct << ",\n"
+       << "    \"chaos\": " << (args.chaos ? 1 : 0) << ",\n"
+       << "    \"requests_sent\": " << sent_total << ",\n"
+       << "    \"ok\": " << total.ok << ",\n"
+       << "    \"computed\": " << total.computed << ",\n"
+       << "    \"coalesced\": " << total.coalesced << ",\n"
+       << "    \"cache_hits\": " << total.cache << ",\n"
+       << "    \"busy_rejected\": " << total.busy << ",\n"
+       << "    \"errors\": " << total.errors << ",\n"
+       << "    \"connection_lost\": " << total.connlost << ",\n"
+       << "    \"unresolved\": " << total.unresolved << ",\n"
+       << "    \"wrong_results\": " << total.wrong << ",\n"
+       << "    \"retries\": " << total.retries << ",\n"
+       << "    \"reconnects\": " << total.reconnects << ",\n"
+       << "    \"hedges\": " << total.hedges << ",\n"
+       << "    \"attempts_hist\": [";
+  for (std::size_t k = 1; k < kAttemptsHistSlots; ++k)
+    json << (k > 1 ? ", " : "") << total.attempts_hist[k];
+  json << "],\n";
+  json.setf(std::ios::fixed);
+  json.precision(4);
+  json << "    \"dedup_hit_rate\": " << dedup_rate << ",\n";
+  json.precision(3);
+  json << "    \"p50_ms\": " << p50 << ",\n"
+       << "    \"p99_ms\": " << p99 << ",\n";
+  json.precision(1);
+  json << "    \"throughput_rps\": " << throughput << ",\n";
+  json.precision(3);
+  json << "    \"wall_s\": " << wall_s << "\n"
+       << "  }\n"
+       << "}\n";
+
+  const std::string text = json.str();
   std::ofstream out(args.out);
-  out << buf;
+  out << text;
   out.close();
-  std::printf("%s", buf);
-  return total.errors == 0 && total.ok > 0 ? 0 : 1;
+  std::printf("%s", text.c_str());
+
+  if (args.chaos)
+    // Chaos gate: no hangs (everything resolved), no wrong answers. A
+    // terminal Busy/ConnectionLost against a killed server is a legal
+    // outcome; returning the wrong bytes never is.
+    return total.ok > 0 && total.wrong == 0 && total.unresolved == 0 ? 0 : 1;
+  return total.errors == 0 && total.connlost == 0 && total.wrong == 0 &&
+                 total.unresolved == 0 && total.ok > 0
+             ? 0
+             : 1;
 }
