@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 #include "govern/budget.hpp"
@@ -67,6 +68,22 @@ la::Matrix build_partial_inductance_matrix(
   auto& metrics = runtime::MetricsRegistry::instance();
   metrics.max_count("assemble.partial_l.max_dim",
                     static_cast<std::int64_t>(n));
+  // Derived throughput gauge, computed at snapshot time so it reflects the
+  // final term count / assembly-time ratio rather than any single call.
+  static std::once_flag hook_once;
+  std::call_once(hook_once, [&metrics] {
+    auto& terms = metrics.counter("assemble.partial_l.mutual_terms");
+    auto& assemble_timer = metrics.timer("assemble.partial_l");
+    auto& rate = metrics.counter("assemble.partial_l.terms_per_sec");
+    metrics.add_snapshot_hook([&terms, &assemble_timer, &rate] {
+      const double secs =
+          static_cast<double>(assemble_timer.total_ns.load()) * 1e-9;
+      const std::int64_t t = terms.value.load();
+      rate.value.store(secs > 0.0 ? static_cast<std::int64_t>(
+                                        static_cast<double>(t) / secs)
+                                  : 0);
+    });
+  });
   la::Matrix l(n, n);
   // Row-parallel over the upper triangle. Each (i, j) pair is evaluated by
   // exactly one chunk with the same scalar arithmetic as the serial loop,
@@ -96,7 +113,10 @@ la::Matrix build_partial_inductance_matrix(
             const double m = mutual_between(segments[i], segments[j]);
             l(i, j) = m;
             l(j, i) = m;
-            ++mutual_terms;
+            // One count per unordered pair actually coupled — the symmetric
+            // mirror store above is the same term, and a zero (orthogonal or
+            // fully cancelled) entry is not a term at all.
+            if (m != 0.0) ++mutual_terms;
           }
         }
         metrics.add_count("assemble.partial_l.mutual_terms", mutual_terms);

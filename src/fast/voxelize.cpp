@@ -1,0 +1,186 @@
+#include "fast/voxelize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "runtime/metrics.hpp"
+
+namespace ind::fast {
+namespace {
+
+std::int64_t quantize(double coord, double origin, double pitch) {
+  return std::llround((coord - origin) / pitch);
+}
+
+std::uint64_t pack_coord(std::int64_t ix, std::int64_t iy, std::int64_t iz) {
+  // 21 bits per axis, biased: lattices beyond +-2^20 steps are rejected at
+  // voxelize() entry, so the packing is collision-free.
+  const std::uint64_t bias = 1u << 20;
+  return ((static_cast<std::uint64_t>(ix + static_cast<std::int64_t>(bias))) << 42) |
+         ((static_cast<std::uint64_t>(iy + static_cast<std::int64_t>(bias))) << 21) |
+         (static_cast<std::uint64_t>(iz + static_cast<std::int64_t>(bias)));
+}
+
+}  // namespace
+
+double VoxelStats::relative_error(double pitch) const {
+  double err = pitch > 0.0 ? max_snap / pitch : 0.0;
+  if (length_in > 0.0)
+    err = std::max(err, std::abs(length_out - length_in) / length_in);
+  return err;
+}
+
+VoxelGrid voxelize(const std::vector<geom::Segment>& filaments,
+                   const geom::Technology& tech, const VoxelOptions& opts) {
+  runtime::ScopedTimer timer("fast.voxelize");
+  if (filaments.empty())
+    throw std::invalid_argument("voxelize: no filaments");
+
+  VoxelGrid grid;
+
+  // Pitch: explicit, or the shortest filament so everything keeps >= 1 cell.
+  double pitch = opts.pitch;
+  if (pitch <= 0.0) {
+    pitch = 1e300;
+    for (const geom::Segment& f : filaments)
+      if (f.length() > 0.0) pitch = std::min(pitch, f.length());
+    if (pitch >= 1e300) throw std::invalid_argument("voxelize: degenerate filaments");
+  }
+  grid.pitch = pitch;
+
+  // Vertical pitch from the distinct filament z-planes.
+  std::vector<double> zs;
+  zs.reserve(filaments.size());
+  for (const geom::Segment& f : filaments) zs.push_back(f.z);
+  std::sort(zs.begin(), zs.end());
+  zs.erase(std::unique(zs.begin(), zs.end()), zs.end());
+  double pitch_z = opts.pitch_z;
+  if (pitch_z <= 0.0) {
+    pitch_z = pitch;
+    for (std::size_t i = 1; i < zs.size(); ++i)
+      pitch_z = std::min(pitch_z, zs[i] - zs[i - 1]);
+  }
+  grid.pitch_z = pitch_z;
+
+  // Uniform cross-section: deterministic mean unless overridden.
+  double wsum = 0.0, tsum = 0.0;
+  double min_x = 1e300, min_y = 1e300;
+  for (const geom::Segment& f : filaments) {
+    wsum += f.width;
+    tsum += f.thickness;
+    min_x = std::min({min_x, f.a.x, f.b.x});
+    min_y = std::min({min_y, f.a.y, f.b.y});
+  }
+  grid.width = opts.width > 0.0 ? opts.width
+                                : wsum / static_cast<double>(filaments.size());
+  grid.thickness = opts.thickness > 0.0
+                       ? opts.thickness
+                       : tsum / static_cast<double>(filaments.size());
+  grid.origin_x = min_x;
+  grid.origin_y = min_y;
+  grid.origin_z = zs.front();
+
+  std::unordered_map<std::uint64_t, std::size_t> node_of;
+  node_of.reserve(filaments.size() * 2);
+  auto get_node = [&](std::int64_t ix, std::int64_t iy, std::int64_t iz) {
+    if (std::llabs(ix) >= (1 << 20) || std::llabs(iy) >= (1 << 20) ||
+        std::llabs(iz) >= (1 << 20))
+      throw std::invalid_argument("voxelize: lattice exceeds 2^20 steps");
+    const auto [it, inserted] =
+        node_of.try_emplace(pack_coord(ix, iy, iz), grid.node_count);
+    if (inserted) {
+      ++grid.node_count;
+      grid.node_coord.push_back({static_cast<std::int32_t>(ix),
+                                 static_cast<std::int32_t>(iy),
+                                 static_cast<std::int32_t>(iz)});
+    }
+    return it->second;
+  };
+
+  double snap_sum = 0.0;
+  std::size_t snap_count = 0;
+  auto snap_err = [&](double coord, double origin, double p, std::int64_t q) {
+    const double err = std::abs(coord - (origin + static_cast<double>(q) * p));
+    grid.stats.max_snap = std::max(grid.stats.max_snap, err);
+    snap_sum += err;
+    ++snap_count;
+  };
+
+  grid.fil_node_a.reserve(filaments.size());
+  grid.fil_node_b.reserve(filaments.size());
+  for (std::size_t k = 0; k < filaments.size(); ++k) {
+    const geom::Segment& f = filaments[k];
+    const geom::Axis axis = f.axis();
+    const bool along_x = axis == geom::Axis::X;
+    const double a_ax = along_x ? f.a.x : f.a.y;
+    const double b_ax = along_x ? f.b.x : f.b.y;
+    const double tr = f.transverse();
+    const double tr_origin = along_x ? grid.origin_y : grid.origin_x;
+    const std::int64_t ia = quantize(a_ax, along_x ? grid.origin_x : grid.origin_y, pitch);
+    const std::int64_t ib = quantize(b_ax, along_x ? grid.origin_x : grid.origin_y, pitch);
+    const std::int64_t it = quantize(tr, tr_origin, pitch);
+    const std::int64_t iz = quantize(f.z, grid.origin_z, pitch_z);
+    snap_err(a_ax, along_x ? grid.origin_x : grid.origin_y, pitch, ia);
+    snap_err(b_ax, along_x ? grid.origin_x : grid.origin_y, pitch, ib);
+    snap_err(tr, tr_origin, pitch, it);
+    snap_err(f.z, grid.origin_z, pitch_z, iz);
+    grid.stats.max_cross_section =
+        std::max(grid.stats.max_cross_section, std::abs(f.width - grid.width) +
+                                                   std::abs(f.thickness -
+                                                            grid.thickness));
+    grid.stats.length_in += f.length();
+
+    const std::int64_t n_cells = std::llabs(ib - ia);
+    auto lattice_node = [&](std::int64_t s) {
+      return along_x ? get_node(s, it, iz) : get_node(it, s, iz);
+    };
+    grid.fil_node_a.push_back(lattice_node(ia));
+    grid.fil_node_b.push_back(lattice_node(ib));
+    if (n_cells == 0) {
+      ++grid.stats.dropped_filaments;
+      continue;
+    }
+    grid.stats.length_out += static_cast<double>(n_cells) * pitch;
+
+    // Exact total resistance, distributed evenly across the cells.
+    const geom::Layer& layer = tech.layer(f.layer);
+    const double rho = layer.sheet_resistance * layer.thickness;
+    const double r_fil =
+        std::max(rho * f.length() / (f.width * f.thickness), 1e-9);
+    const double r_cell = r_fil / static_cast<double>(n_cells);
+
+    const std::int64_t step = ib > ia ? 1 : -1;
+    for (std::int64_t c = 0; c < n_cells; ++c) {
+      const std::int64_t s = ia + c * step;
+      const std::int64_t e = s + step;
+      VoxelCell cell;
+      cell.axis = axis;
+      cell.filament = static_cast<std::uint32_t>(k);
+      const std::int64_t lo = std::min(s, e);
+      if (along_x) {
+        cell.ix = static_cast<std::int32_t>(lo);
+        cell.iy = static_cast<std::int32_t>(it);
+      } else {
+        cell.ix = static_cast<std::int32_t>(it);
+        cell.iy = static_cast<std::int32_t>(lo);
+      }
+      cell.iz = static_cast<std::int32_t>(iz);
+      grid.cells.push_back(cell);
+      grid.resistance.push_back(r_cell);
+      grid.node_a.push_back(lattice_node(s));
+      grid.node_b.push_back(lattice_node(e));
+    }
+  }
+  grid.stats.mean_snap = snap_count ? snap_sum / static_cast<double>(snap_count) : 0.0;
+
+  auto& metrics = runtime::MetricsRegistry::instance();
+  metrics.max_count("fast.voxel_cells",
+                    static_cast<std::int64_t>(grid.cells.size()));
+  metrics.max_count("fast.voxel_nodes",
+                    static_cast<std::int64_t>(grid.node_count));
+  return grid;
+}
+
+}  // namespace ind::fast

@@ -1,0 +1,97 @@
+// Voxelizer: snaps skin-split conductor filaments onto a regular lattice of
+// identical unit cells, the precondition for the Toeplitz structure the FFT
+// operator exploits (SuperVoxHenry-style, see DESIGN.md "Fast extraction").
+//
+// Each filament centre-line is snapped to the nearest lattice rows and diced
+// into axis-aligned unit cells of length `pitch`; all cells share one
+// representative cross-section (width x thickness), because translation
+// invariance of the partial-inductance kernel — the property that makes L
+// block-Toeplitz — requires every cell to be geometrically identical.
+// Resistance is *not* voxel-approximated: each filament's true resistance is
+// distributed evenly over its cells, so the DC path resistance is exact
+// regardless of the snap. Every approximation made (endpoint snap distance,
+// cross-section substitution, dropped sub-pitch filaments) is accumulated in
+// VoxelStats and reported through the example/bench output so the
+// accuracy/speed trade is visible, never silent.
+//
+// On lattice-aligned layouts (coordinates, lengths and spacings that are
+// integer multiples of the pitch, uniform cross-sections) the snap error is
+// identically zero and — partial inductance being exactly additive under
+// subdivision (Grover's F telescopes) — the voxelized system is
+// mathematically equivalent to the dense whole-filament system. This is the
+// basis of the dense-vs-FFT 1e-6 agreement gate in CI.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/layer.hpp"
+#include "geom/segment.hpp"
+
+namespace ind::fast {
+
+struct VoxelOptions {
+  /// Lattice pitch in x/y (metres). <= 0 selects the shortest filament
+  /// length, giving every filament at least one cell.
+  double pitch = 0.0;
+  /// Vertical pitch between layer planes. <= 0 selects the smallest gap
+  /// between distinct filament z-centres (or `pitch` for planar layouts).
+  double pitch_z = 0.0;
+  /// Uniform cell cross-section. <= 0 selects the mean filament width /
+  /// thickness (deterministic).
+  double width = 0.0;
+  double thickness = 0.0;
+};
+
+/// One unit cell: spans [ix, ix+1] x {iy} x {iz} lattice steps for an X
+/// cell (y/x swapped for Y). Current flows node_a -> node_b, preserving the
+/// source filament's direction.
+struct VoxelCell {
+  std::int32_t ix = 0, iy = 0, iz = 0;
+  geom::Axis axis = geom::Axis::X;
+  std::uint32_t filament = 0;  ///< source filament index
+};
+
+struct VoxelStats {
+  double max_snap = 0.0;            ///< metres, worst endpoint displacement
+  double mean_snap = 0.0;           ///< metres, mean endpoint displacement
+  double max_cross_section = 0.0;   ///< metres, worst |w-w0| + |t-t0|
+  double length_in = 0.0;           ///< total filament length before snap
+  double length_out = 0.0;          ///< total cell length after snap
+  std::size_t dropped_filaments = 0;  ///< sub-pitch filaments snapped away
+
+  /// Headline relative voxelization error: worst of the endpoint snap
+  /// (relative to the pitch) and the total-length distortion.
+  double relative_error(double pitch) const;
+};
+
+struct VoxelGrid {
+  double pitch = 0.0, pitch_z = 0.0;
+  double origin_x = 0.0, origin_y = 0.0, origin_z = 0.0;
+  double width = 0.0, thickness = 0.0;
+
+  std::vector<VoxelCell> cells;
+  std::vector<double> resistance;     ///< per cell, ohms (exact DC total)
+  std::vector<std::size_t> node_a;    ///< per cell, lattice node ids
+  std::vector<std::size_t> node_b;
+  std::size_t node_count = 0;
+  std::vector<std::array<std::int32_t, 3>> node_coord;  ///< per node
+
+  /// Lattice images of each filament's parent-end nodes, in filament order —
+  /// the solver ties these to its own endpoint nodes (and through them to
+  /// ports, vias and shorts). A filament shorter than half a pitch maps both
+  /// ends to the same node.
+  std::vector<std::size_t> fil_node_a, fil_node_b;
+
+  VoxelStats stats;
+
+  std::size_t num_cells() const { return cells.size(); }
+};
+
+/// Snaps `filaments` (output of extract::split_all) onto the lattice.
+/// `tech` supplies per-layer resistivity for the exact per-cell resistance.
+VoxelGrid voxelize(const std::vector<geom::Segment>& filaments,
+                   const geom::Technology& tech, const VoxelOptions& opts = {});
+
+}  // namespace ind::fast

@@ -1,0 +1,180 @@
+#include "la/gmres.hpp"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "govern/budget.hpp"
+#include "robust/fault_injection.hpp"
+#include "runtime/metrics.hpp"
+
+namespace ind::la {
+namespace {
+
+Complex cdot(const CVector& a, const CVector& b) {
+  Complex s{};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+double norm2(const CVector& v) {
+  double s = 0.0;
+  for (const Complex& z : v) s += std::norm(z);
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+GmresResult gmres(const CApplyFn& apply, const CVector& b, CVector& x,
+                  const CApplyFn* precond, const GmresOptions& opts) {
+  runtime::ScopedTimer timer("solve.gmres");
+  auto& iter_counter =
+      runtime::MetricsRegistry::instance().counter("solve.gmres.iterations");
+  GmresResult result;
+  const std::size_t n = b.size();
+  if (x.size() != n) x.assign(n, Complex{});
+  const double norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    x.assign(n, Complex{});
+    result.converged = true;
+    result.relative_residual = 0.0;
+    return result;
+  }
+  const std::size_t m = std::max<std::size_t>(1, opts.restart);
+  // Work charged per Arnoldi step: pure function of (n, work_divisor), so
+  // IND_WORK_BUDGET trips at a fixed iteration index at any thread count.
+  const std::uint64_t units_per_iter = 1 + n / std::max<std::size_t>(1, opts.work_divisor);
+
+  std::vector<CVector> v(m + 1);          // Arnoldi basis
+  std::vector<Complex> h((m + 1) * m);    // Hessenberg, column-major
+  std::vector<Complex> cs(m), g(m + 1);
+  std::vector<double> sn(m);
+  CVector w(n), z(n), tmp(n);
+  auto hh = [&](std::size_t i, std::size_t j) -> Complex& {
+    return h[j * (m + 1) + i];
+  };
+
+  double prev_cycle_res = -1.0;
+  int stagnant_cycles = 0;
+
+  for (std::size_t cycle = 0; cycle <= opts.max_restarts; ++cycle) {
+    // True residual of the current iterate (right preconditioning keeps the
+    // recurrence residual equal to it, but recompute at cycle boundaries to
+    // shed accumulated roundoff).
+    apply(x, tmp);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = b[i] - tmp[i];
+    const double beta = norm2(tmp);
+    result.relative_residual = beta / norm_b;
+    if (result.relative_residual <= opts.tol) {
+      result.converged = true;
+      return result;
+    }
+    if (cycle == opts.max_restarts) break;
+    if (prev_cycle_res >= 0.0) {
+      if (result.relative_residual > opts.stagnation_ratio * prev_cycle_res) {
+        if (++stagnant_cycles >= 2) {
+          result.stagnated = true;
+          return result;
+        }
+      } else {
+        stagnant_cycles = 0;
+      }
+    }
+    prev_cycle_res = result.relative_residual;
+
+    v[0] = tmp;
+    for (std::size_t i = 0; i < n; ++i) v[0][i] /= beta;
+    std::fill(g.begin(), g.end(), Complex{});
+    g[0] = beta;
+
+    std::size_t k = 0;  // Arnoldi steps completed this cycle
+    bool lucky = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (govern::checkpoint(units_per_iter))
+        govern::throw_if_cancelled("la.gmres");
+      if (robust::fault::fire(robust::fault::Site::GmresIter)) {
+        // Injected breakdown: abandon the cycle without touching x so a
+        // retry reproduces the unperturbed run bitwise.
+        result.breakdown = true;
+        return result;
+      }
+      ++result.iterations;
+      iter_counter.value.fetch_add(1, std::memory_order_relaxed);
+      if (precond) {
+        (*precond)(v[j], z);
+      } else {
+        z = v[j];
+      }
+      apply(z, w);
+      // Modified Gram-Schmidt.
+      for (std::size_t i = 0; i <= j; ++i) {
+        const Complex hij = cdot(v[i], w);
+        hh(i, j) = hij;
+        for (std::size_t t = 0; t < n; ++t) w[t] -= hij * v[i][t];
+      }
+      const double hnext = norm2(w);
+      hh(j + 1, j) = hnext;
+      // Apply accumulated Givens rotations to the new column.
+      for (std::size_t i = 0; i < j; ++i) {
+        const Complex t0 = hh(i, j), t1 = hh(i + 1, j);
+        hh(i, j) = std::conj(cs[i]) * t0 + sn[i] * t1;
+        hh(i + 1, j) = -sn[i] * t0 + cs[i] * t1;
+      }
+      // New rotation zeroing hh(j+1, j).
+      {
+        const Complex a = hh(j, j);
+        const double bmag = hnext;
+        const double denom = std::hypot(std::abs(a), bmag);
+        if (denom == 0.0) {
+          cs[j] = 1.0;
+          sn[j] = 0.0;
+        } else {
+          cs[j] = a / denom;
+          sn[j] = bmag / denom;
+        }
+        hh(j, j) = std::conj(cs[j]) * a + sn[j] * bmag;
+        hh(j + 1, j) = 0.0;
+        const Complex g0 = g[j];
+        g[j] = std::conj(cs[j]) * g0;
+        g[j + 1] = -sn[j] * g0;
+      }
+      k = j + 1;
+      const double est = std::abs(g[j + 1]);
+      if (hnext <= 1e-14 * norm_b) {
+        lucky = true;  // invariant subspace reached: iterate is exact in it
+        break;
+      }
+      v[j + 1] = w;
+      for (std::size_t t = 0; t < n; ++t) v[j + 1][t] /= hnext;
+      if (est / norm_b <= opts.tol) break;
+    }
+
+    // Back-substitute H y = g and fold the correction into x.
+    std::vector<Complex> y(k);
+    for (std::size_t ii = k; ii-- > 0;) {
+      Complex s = g[ii];
+      for (std::size_t jj = ii + 1; jj < k; ++jj) s -= hh(ii, jj) * y[jj];
+      y[ii] = s / hh(ii, ii);
+    }
+    std::fill(w.begin(), w.end(), Complex{});
+    for (std::size_t jj = 0; jj < k; ++jj)
+      for (std::size_t t = 0; t < n; ++t) w[t] += y[jj] * v[jj][t];
+    if (precond) {
+      (*precond)(w, z);
+      for (std::size_t t = 0; t < n; ++t) x[t] += z[t];
+    } else {
+      for (std::size_t t = 0; t < n; ++t) x[t] += w[t];
+    }
+    ++result.restarts;
+    if (lucky) {
+      apply(x, tmp);
+      for (std::size_t i = 0; i < n; ++i) tmp[i] = b[i] - tmp[i];
+      result.relative_residual = norm2(tmp) / norm_b;
+      result.converged = result.relative_residual <= opts.tol * 10.0;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ind::la

@@ -1,0 +1,65 @@
+// Restarted GMRES for complex linear systems, matrix-free.
+//
+// The FFT-accelerated loop extractor (src/fast/) applies the MQS system
+// operator in O(n log n) without ever materialising it, so the factor-based
+// solvers in lu.hpp / sparse_lu.hpp do not apply. GMRES(m) with a right
+// preconditioner is the standard companion: right preconditioning keeps the
+// monitored residual equal to the *true* residual ||b - A x|| (the Arnoldi
+// recurrence runs on A M^-1), so the convergence test is meaningful even
+// when the preconditioner is crude.
+//
+// Determinism contract: the Arnoldi process, the Givens least-squares update
+// and the restart schedule are strictly serial and allocation-stable — given
+// the same operator apply results, the iterate sequence is bitwise identical
+// at any thread count. Per-iteration work is charged to the governor with a
+// unit count that is a pure function of the problem size, so IND_WORK_BUDGET
+// trips inside the loop reproduce bitwise (govern/budget.hpp contract).
+//
+// Fault injection: each iteration asks fire(Site::GmresIter) once; an
+// injected fault is treated as a numerical breakdown of the Arnoldi basis
+// (result.breakdown), which the caller's recovery ladder handles like any
+// real stagnation (retry -> larger restart -> dense fallback).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "la/dense_matrix.hpp"
+
+namespace ind::la {
+
+/// y = op(x); must not retain references to x or y past the call.
+using CApplyFn = std::function<void(const CVector& x, CVector& y)>;
+
+struct GmresOptions {
+  std::size_t restart = 60;       ///< Krylov dimension per cycle, m
+  std::size_t max_restarts = 20;  ///< cycles before giving up
+  double tol = 1e-10;             ///< relative residual ||b - Ax|| / ||b||
+  /// A cycle that shrinks the residual by less than this factor counts as
+  /// stagnated; two consecutive stagnant cycles abort the solve so the
+  /// caller's ladder can escalate instead of burning the iteration budget.
+  double stagnation_ratio = 0.9;
+  /// Work units charged to govern::checkpoint() per iteration, scaled by the
+  /// problem size inside gmres() (pure function of n — see budget.hpp).
+  std::size_t work_divisor = 256;
+};
+
+struct GmresResult {
+  bool converged = false;
+  bool stagnated = false;   ///< aborted on consecutive no-progress cycles
+  bool breakdown = false;   ///< Arnoldi breakdown (incl. injected faults)
+  std::size_t iterations = 0;  ///< total Arnoldi steps across all cycles
+  std::size_t restarts = 0;    ///< completed restart cycles
+  double relative_residual = -1.0;  ///< final true-residual ratio; -1 if b=0
+};
+
+/// Solves A x = b with restarted GMRES. `apply` computes y = A x. When
+/// `precond` is non-null it computes y = M^-1 x and the iteration solves
+/// A M^-1 u = b with x = M^-1 u (right preconditioning). `x` is the initial
+/// guess on entry (zero it for a cold start) and the best iterate on return.
+/// Throws govern::CancelledError when the run budget trips mid-iteration.
+GmresResult gmres(const CApplyFn& apply, const CVector& b, CVector& x,
+                  const CApplyFn* precond = nullptr,
+                  const GmresOptions& opts = {});
+
+}  // namespace ind::la

@@ -9,6 +9,8 @@
 
 #include "extract/partial_inductance.hpp"
 #include "la/lu.hpp"
+#include "robust/diagnostics.hpp"
+#include "robust/recovery.hpp"
 
 namespace ind::loop {
 namespace {
@@ -23,10 +25,19 @@ std::uint64_t key_of(const geom::Point& p, int layer, double snap) {
 
 }  // namespace
 
+const char* to_string(ExtractionMethod method) {
+  switch (method) {
+    case ExtractionMethod::Dense: return "dense";
+    case ExtractionMethod::FftGmres: return "fft_gmres";
+    case ExtractionMethod::Auto: return "auto";
+  }
+  return "unknown";
+}
+
 MqsSolver::MqsSolver(const std::vector<geom::Segment>& segments,
                      const std::vector<geom::Via>& vias,
                      const geom::Technology& tech, const MqsOptions& opts)
-    : snap_(opts.snap) {
+    : snap_(opts.snap), opts_(opts) {
   std::vector<std::size_t> parent_of;
   filaments_ = extract::split_all(segments, parent_of, opts.skin);
 
@@ -61,14 +72,42 @@ MqsSolver::MqsSolver(const std::vector<geom::Segment>& segments,
         std::max(rho * f.length() / (f.width * f.thickness), 1e-9));
   }
 
-  fil_l_ = extract::build_partial_inductance_matrix(
-      filaments_, {.window = opts.mutual_window});
+  method_ = opts.method;
+  if (method_ == ExtractionMethod::Auto)
+    method_ = filaments_.size() >= opts.fast.auto_threshold
+                  ? ExtractionMethod::FftGmres
+                  : ExtractionMethod::Dense;
+
+  if (method_ == ExtractionMethod::FftGmres && !filaments_.empty()) {
+    fast::VoxelGrid grid = fast::voxelize(filaments_, tech, opts.fast.voxel);
+    if (grid.cells.empty()) {
+      // Every filament is shorter than half a pitch: nothing to model on
+      // the lattice — fall back to the dense path rather than fail.
+      method_ = ExtractionMethod::Dense;
+    } else {
+      runtime::MetricsRegistry::instance().max_count(
+          "fast.snap_error_ppm",
+          static_cast<std::int64_t>(
+              grid.stats.relative_error(grid.pitch) * 1e6));
+      toeplitz_ = std::make_shared<const fast::ToeplitzLOperator>(std::move(grid));
+      precond_l_ = fast::voxel_sparsified_l(*toeplitz_, opts.fast.precond);
+    }
+  }
+  if (method_ != ExtractionMethod::FftGmres) {
+    method_ = ExtractionMethod::Dense;
+    fil_l_ = extract::build_partial_inductance_matrix(
+        filaments_, {.window = opts.mutual_window});
+  }
 
   for (const geom::Via& v : vias) {
     const auto lo = node_at(v.at, v.lower_layer);
     const auto hi = node_at(v.at, v.upper_layer);
     if (lo && hi) short_nodes(*lo, *hi);
   }
+}
+
+const fast::VoxelGrid* MqsSolver::voxel_grid() const {
+  return toeplitz_ ? &toeplitz_->grid() : nullptr;
 }
 
 std::size_t MqsSolver::canonical(std::size_t node) const {
@@ -113,6 +152,14 @@ LoopImpedance MqsSolver::port_impedance(std::size_t plus, std::size_t minus,
   runtime::MetricsRegistry::instance().max_count(
       "solve.mqs_port.max_filaments",
       static_cast<std::int64_t>(filaments_.size()));
+  if (method_ == ExtractionMethod::FftGmres)
+    return port_impedance_fft(plus, minus, frequency);
+  return port_impedance_dense(plus, minus, frequency);
+}
+
+LoopImpedance MqsSolver::port_impedance_dense(std::size_t plus,
+                                              std::size_t minus,
+                                              double frequency) const {
   const std::size_t p = canonical(plus);
   const std::size_t ref = canonical(minus);
   if (p == ref)
@@ -191,6 +238,244 @@ LoopImpedance MqsSolver::port_impedance(std::size_t plus, std::size_t minus,
 
   const la::CVector x = la::CLU(std::move(a)).solve(b);
   const la::Complex z = x[static_cast<std::size_t>(compact[p])];
+  return {frequency, z.real(), z.imag() / omega};
+}
+
+LoopImpedance MqsSolver::port_impedance_fft(std::size_t plus,
+                                            std::size_t minus,
+                                            double frequency) const {
+  const fast::VoxelGrid& grid = toeplitz_->grid();
+  const std::size_t p_solver = canonical(plus);
+  const std::size_t ref_solver = canonical(minus);
+  if (p_solver == ref_solver)
+    throw std::invalid_argument("port_impedance: port nodes are shorted");
+
+  // Combined node space: union-find over the lattice nodes, seeded with the
+  // solver-level topology — filaments of one parent tie their row ends
+  // together, and shorts/vias recorded at the solver level merge through
+  // the shared solver-canonical node. This reproduces the dense path's node
+  // sharing exactly on aligned layouts.
+  std::vector<std::size_t> lat(grid.node_count);
+  for (std::size_t i = 0; i < grid.node_count; ++i) lat[i] = i;
+  std::function<std::size_t(std::size_t)> lfind = [&](std::size_t x) {
+    while (lat[x] != x) x = lat[x] = lat[lat[x]];
+    return x;
+  };
+  auto lunion = [&](std::size_t a, std::size_t b) {
+    const std::size_t ra = lfind(a), rb = lfind(b);
+    if (ra != rb) lat[std::max(ra, rb)] = std::min(ra, rb);
+  };
+  // Representative lattice node per solver-canonical node.
+  std::vector<std::ptrdiff_t> solver_rep(node_count_, -1);
+  for (std::size_t k = 0; k < filaments_.size(); ++k) {
+    for (const auto& [solver_node, lat_node] :
+         {std::pair{canonical(fil_a_[k]), grid.fil_node_a[k]},
+          std::pair{canonical(fil_b_[k]), grid.fil_node_b[k]}}) {
+      if (solver_rep[solver_node] < 0) {
+        solver_rep[solver_node] = static_cast<std::ptrdiff_t>(lat_node);
+      } else {
+        lunion(static_cast<std::size_t>(solver_rep[solver_node]), lat_node);
+      }
+    }
+  }
+  if (solver_rep[p_solver] < 0)
+    throw std::invalid_argument("port_impedance: plus node is floating");
+  if (solver_rep[ref_solver] < 0)
+    throw std::invalid_argument("port_impedance: minus node is floating");
+  const std::size_t ref =
+      lfind(static_cast<std::size_t>(solver_rep[ref_solver]));
+
+  const std::size_t nc = grid.cells.size();
+  std::vector<std::size_t> cell_a(nc), cell_b(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    cell_a[c] = lfind(grid.node_a[c]);
+    cell_b[c] = lfind(grid.node_b[c]);
+  }
+
+  // Compact indices for canonical lattice nodes, reference removed.
+  std::vector<std::ptrdiff_t> compact(grid.node_count, -1);
+  std::size_t n_active = 0;
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t node : {cell_a[c], cell_b[c]}) {
+      if (node == ref || compact[node] >= 0) continue;
+      compact[node] = static_cast<std::ptrdiff_t>(n_active++);
+    }
+  }
+  const std::size_t p_lat =
+      lfind(static_cast<std::size_t>(solver_rep[p_solver]));
+  if (compact[p_lat] < 0)
+    throw std::invalid_argument("port_impedance: plus node is floating");
+
+  // Pin one node of every conductor group not connected to the reference
+  // (same exact fix as the dense path).
+  std::vector<std::size_t> comp(grid.node_count);
+  for (std::size_t i = 0; i < grid.node_count; ++i) comp[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (comp[x] != x) x = comp[x] = comp[comp[x]];
+    return x;
+  };
+  for (std::size_t c = 0; c < nc; ++c) {
+    const std::size_t ra = find(cell_a[c]);
+    const std::size_t rb = find(cell_b[c]);
+    if (ra != rb) comp[ra] = rb;
+  }
+  std::vector<std::size_t> pin_nodes;
+  {
+    std::vector<char> seen(grid.node_count, 0);
+    const std::size_t ref_comp = find(ref);
+    for (std::size_t i = 0; i < grid.node_count; ++i) {
+      if (lfind(i) != i || compact[i] < 0) continue;
+      const std::size_t c = find(i);
+      if (c == ref_comp || seen[c]) continue;
+      seen[c] = 1;
+      pin_nodes.push_back(i);
+    }
+  }
+
+  const std::size_t size = n_active + nc;
+  const double omega = 2.0 * M_PI * frequency;
+  const la::Complex jw{0.0, omega};
+  const bool use_fft = opts_.fast.use_fft;
+  const fast::ToeplitzLOperator& op = *toeplitz_;
+
+  // Matrix-free MQS operator: [KCL; branch] x [v; i].
+  la::CApplyFn apply = [&](const la::CVector& x, la::CVector& y) {
+    la::CVector xi(nc), li(nc);
+    for (std::size_t c = 0; c < nc; ++c) xi[c] = x[n_active + c];
+    if (use_fft)
+      op.apply(xi, li);
+    else
+      op.apply_dense(xi, li);
+    y.assign(size, la::Complex{});
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::ptrdiff_t na = compact[cell_a[c]];
+      const std::ptrdiff_t nb = compact[cell_b[c]];
+      const la::Complex ic = x[n_active + c];
+      la::Complex vdrop{};
+      if (na >= 0) {
+        y[static_cast<std::size_t>(na)] += ic;
+        vdrop += x[static_cast<std::size_t>(na)];
+      }
+      if (nb >= 0) {
+        y[static_cast<std::size_t>(nb)] -= ic;
+        vdrop -= x[static_cast<std::size_t>(nb)];
+      }
+      y[n_active + c] =
+          vdrop - la::Complex{grid.resistance[c], 0.0} * ic - jw * li[c];
+    }
+    for (std::size_t node : pin_nodes) {
+      const auto idx = static_cast<std::size_t>(compact[node]);
+      y[idx] += x[idx];
+    }
+  };
+
+  la::CVector b(size, la::Complex{});
+  b[static_cast<std::size_t>(compact[p_lat])] = 1.0;
+
+  // Preconditioner: the same MQS structure with the sparsified L', factored
+  // as a real-equivalent sparse system through the recovery ladder.
+  robust::SolveReport report;
+  std::unique_ptr<fast::ComplexSparseFactor> pre;
+  la::CApplyFn pre_apply;
+  if (opts_.fast.precond.kind != fast::PrecondKind::None) {
+    std::vector<fast::ComplexTriplet> entries;
+    entries.reserve(4 * nc + 2 * precond_l_.terms.size() + pin_nodes.size());
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::ptrdiff_t na = compact[cell_a[c]];
+      const std::ptrdiff_t nb = compact[cell_b[c]];
+      const std::size_t br = n_active + c;
+      if (na >= 0) {
+        entries.push_back({static_cast<std::size_t>(na), br, 1.0});
+        entries.push_back({br, static_cast<std::size_t>(na), 1.0});
+      }
+      if (nb >= 0) {
+        entries.push_back({static_cast<std::size_t>(nb), br, -1.0});
+        entries.push_back({br, static_cast<std::size_t>(nb), -1.0});
+      }
+      entries.push_back(
+          {br, br,
+           -(la::Complex{grid.resistance[c], 0.0} + jw * precond_l_.diag[c])});
+    }
+    for (const sparsify::MutualTerm& t : precond_l_.terms) {
+      entries.push_back(
+          {n_active + t.i, n_active + t.j, -jw * la::Complex{t.value}});
+      entries.push_back(
+          {n_active + t.j, n_active + t.i, -jw * la::Complex{t.value}});
+    }
+    for (std::size_t node : pin_nodes)
+      entries.push_back({static_cast<std::size_t>(compact[node]),
+                         static_cast<std::size_t>(compact[node]), 1.0});
+    pre = std::make_unique<fast::ComplexSparseFactor>(
+        size, entries, report, "mqs_precond", opts_.fast.dense_fallback_limit);
+    if (pre->usable()) {
+      pre_apply = [&pre](const la::CVector& r, la::CVector& z) {
+        z = pre->solve(r);
+      };
+    } else {
+      pre.reset();  // unpreconditioned GMRES is still well-defined
+    }
+  }
+
+  auto& metrics = runtime::MetricsRegistry::instance();
+  la::CVector x(size, la::Complex{});
+  const la::CApplyFn* pre_ptr = pre_apply ? &pre_apply : nullptr;
+
+  // Ladder: GMRES → retry → larger restart → dense fallback.
+  la::GmresResult gr = la::gmres(apply, b, x, pre_ptr, opts_.fast.gmres);
+  if (!gr.converged) {
+    report.add_action(robust::RecoveryKind::Retry, 0, 0.0, "mqs_gmres");
+    x.assign(size, la::Complex{});
+    gr = la::gmres(apply, b, x, pre_ptr, opts_.fast.gmres);
+  }
+  if (!gr.converged) {
+    la::GmresOptions boosted = opts_.fast.gmres;
+    boosted.restart *= 2;
+    boosted.max_restarts *= 2;
+    report.add_action(robust::RecoveryKind::GmresRestart, 1,
+                      static_cast<double>(boosted.restart), "mqs_gmres");
+    x.assign(size, la::Complex{});
+    gr = la::gmres(apply, b, x, pre_ptr, boosted);
+  }
+  metrics.add_count("fast.gmres_restarts",
+                    static_cast<std::int64_t>(gr.restarts));
+  if (!gr.converged && nc <= opts_.fast.dense_fallback_limit) {
+    // Dense fallback: materialise the full MQS system from the bitwise
+    // kernel table and solve it directly.
+    report.add_action(robust::RecoveryKind::DenseFallback, 2,
+                      static_cast<double>(nc), "mqs_gmres");
+    metrics.add_count("fast.dense_fallbacks", 1);
+    const la::Matrix lcells = op.to_dense();
+    la::CMatrix a(size, size);
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::ptrdiff_t na = compact[cell_a[c]];
+      const std::ptrdiff_t nb = compact[cell_b[c]];
+      const std::size_t br = n_active + c;
+      if (na >= 0) {
+        a(static_cast<std::size_t>(na), br) += 1.0;
+        a(br, static_cast<std::size_t>(na)) += 1.0;
+      }
+      if (nb >= 0) {
+        a(static_cast<std::size_t>(nb), br) -= 1.0;
+        a(br, static_cast<std::size_t>(nb)) -= 1.0;
+      }
+      a(br, br) -= la::Complex{grid.resistance[c], 0.0};
+      for (std::size_t m = 0; m < nc; ++m)
+        if (lcells(c, m) != 0.0) a(br, n_active + m) -= jw * lcells(c, m);
+    }
+    for (std::size_t node : pin_nodes)
+      a(static_cast<std::size_t>(compact[node]),
+        static_cast<std::size_t>(compact[node])) += 1.0;
+    la::CLU lu = robust::factor_dense_with_recovery(a, report, "mqs_gmres");
+    if (lu.size() > 0) {
+      x = lu.solve(b);
+      gr.converged = true;
+    }
+  }
+  if (!gr.converged) report.raise_status(robust::SolveStatus::NonConverged);
+  report.residual_norm = gr.relative_residual;
+  report.record("mqs_gmres");
+
+  const la::Complex z = x[static_cast<std::size_t>(compact[p_lat])];
   return {frequency, z.real(), z.imag() / omega};
 }
 

@@ -29,6 +29,7 @@ const char* to_string(RecoveryKind kind) {
     case RecoveryKind::DampedRestart: return "damped_restart";
     case RecoveryKind::ArtifactRecompute: return "artifact_recompute";
     case RecoveryKind::BudgetExceeded: return "budget_exceeded";
+    case RecoveryKind::GmresRestart: return "gmres_restart";
   }
   return "unknown";
 }

@@ -39,6 +39,7 @@ enum class RecoveryKind {
   DampedRestart,        ///< Levenberg-Marquardt damping of a Newton step
   ArtifactRecompute,    ///< corrupt cached artifact discarded; recomputed
   BudgetExceeded,       ///< resource budget tripped; degraded or truncated
+  GmresRestart,         ///< stagnated GMRES re-run with a larger Krylov space
 };
 
 const char* to_string(SolveStatus status);

@@ -37,8 +37,9 @@ enum class Site {
   ServeRead,       ///< a serve request frame is treated as malformed
   StoreWrite,      ///< an artifact commit is torn mid-write (partial .tmp left)
   ServeSend,       ///< a serve response send fails as if the peer vanished
+  GmresIter,       ///< a GMRES iteration is treated as a numerical breakdown
 };
-inline constexpr int kSiteCount = 10;
+inline constexpr int kSiteCount = 11;
 
 namespace detail {
 extern std::atomic<bool> g_active;

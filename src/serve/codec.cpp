@@ -13,7 +13,7 @@ namespace {
 /// Bumped whenever the request/result encoding changes shape. Feeds both
 /// the decoder check and (via the encoded bytes) the request fingerprint, so
 /// a codec evolution invalidates every stale dedup/cache key at once.
-constexpr std::uint16_t kCodecVersion = 1;
+constexpr std::uint16_t kCodecVersion = 2;  // v2: extraction method + fast/ knobs
 
 constexpr struct {
   core::Flow flow;
@@ -86,6 +86,22 @@ void put_options(store::ByteWriter& w, const core::AnalysisOptions& o) {
   w.f64(l.extraction.mqs.skin.max_width);
   w.f64(l.extraction.mqs.skin.max_thickness);
   w.i32(l.extraction.mqs.skin.max_filaments_per_axis);
+  w.u8(static_cast<std::uint8_t>(l.extraction.mqs.method));
+  const loop::FastSolveOptions& fs = l.extraction.mqs.fast;
+  w.f64(fs.voxel.pitch);
+  w.f64(fs.voxel.pitch_z);
+  w.f64(fs.voxel.width);
+  w.f64(fs.voxel.thickness);
+  w.u8(static_cast<std::uint8_t>(fs.precond.kind));
+  w.f64(fs.precond.radius);
+  w.f64(fs.precond.truncation_ratio);
+  w.u64(fs.precond.strip_cells);
+  w.u64(fs.gmres.restart);
+  w.u64(fs.gmres.max_restarts);
+  w.f64(fs.gmres.tol);
+  w.u64(fs.auto_threshold);
+  w.u64(fs.dense_fallback_limit);
+  w.boolean(fs.use_fft);
 
   const circuit::TransientOptions& t = o.transient;
   w.f64(t.t_stop);
@@ -157,6 +173,26 @@ void get_options(store::ByteReader& r, core::AnalysisOptions& o) {
   l.extraction.mqs.skin.max_width = r.f64();
   l.extraction.mqs.skin.max_thickness = r.f64();
   l.extraction.mqs.skin.max_filaments_per_axis = r.i32();
+  l.extraction.mqs.method = checked_enum<loop::ExtractionMethod>(
+      r.u8(), static_cast<std::uint8_t>(loop::ExtractionMethod::Auto),
+      "extraction_method");
+  loop::FastSolveOptions& fs = l.extraction.mqs.fast;
+  fs.voxel.pitch = r.f64();
+  fs.voxel.pitch_z = r.f64();
+  fs.voxel.width = r.f64();
+  fs.voxel.thickness = r.f64();
+  fs.precond.kind = checked_enum<fast::PrecondKind>(
+      r.u8(), static_cast<std::uint8_t>(fast::PrecondKind::Truncation),
+      "precond_kind");
+  fs.precond.radius = r.f64();
+  fs.precond.truncation_ratio = r.f64();
+  fs.precond.strip_cells = r.u64();
+  fs.gmres.restart = r.u64();
+  fs.gmres.max_restarts = r.u64();
+  fs.gmres.tol = r.f64();
+  fs.auto_threshold = r.u64();
+  fs.dense_fallback_limit = r.u64();
+  fs.use_fft = r.boolean();
 
   circuit::TransientOptions& t = o.transient;
   t.t_stop = r.f64();
@@ -424,6 +460,45 @@ void apply_option_spec(core::AnalysisOptions& opts, std::string_view spec) {
     } else if (key == "loop_extract_um") {
       opts.loop.extraction.max_segment_length =
           geom::um(parse_double(key, value));
+    } else if (key == "method") {
+      loop::MqsOptions& mqs = opts.loop.extraction.mqs;
+      if (value == "dense") {
+        mqs.method = loop::ExtractionMethod::Dense;
+      } else if (value == "fft") {
+        mqs.method = loop::ExtractionMethod::FftGmres;
+      } else if (value == "auto") {
+        mqs.method = loop::ExtractionMethod::Auto;
+      } else {
+        throw std::invalid_argument("serve: unknown extraction method '" +
+                                    std::string(value) + "'");
+      }
+    } else if (key == "fft_pitch_um") {
+      opts.loop.extraction.mqs.fast.voxel.pitch =
+          geom::um(parse_double(key, value));
+    } else if (key == "fft_precond") {
+      fast::PrecondOptions& pc = opts.loop.extraction.mqs.fast.precond;
+      if (value == "none") {
+        pc.kind = fast::PrecondKind::None;
+      } else if (value == "diag") {
+        pc.kind = fast::PrecondKind::Diag;
+      } else if (value == "blockdiag") {
+        pc.kind = fast::PrecondKind::BlockDiag;
+      } else if (value == "shell") {
+        pc.kind = fast::PrecondKind::Shell;
+      } else if (value == "trunc") {
+        pc.kind = fast::PrecondKind::Truncation;
+      } else {
+        throw std::invalid_argument("serve: unknown preconditioner '" +
+                                    std::string(value) + "'");
+      }
+    } else if (key == "gmres_tol") {
+      opts.loop.extraction.mqs.fast.gmres.tol = parse_double(key, value);
+    } else if (key == "gmres_restart") {
+      opts.loop.extraction.mqs.fast.gmres.restart =
+          static_cast<std::size_t>(parse_int(key, value));
+    } else if (key == "fft_auto_threshold") {
+      opts.loop.extraction.mqs.fast.auto_threshold =
+          static_cast<std::size_t>(parse_int(key, value));
     } else if (key == "trunc_ratio") {
       opts.params.truncation_ratio = parse_double(key, value);
     } else if (key == "shell_um") {

@@ -125,6 +125,12 @@ store::Digest request_fingerprint(const Request& req,
 ///   loop_seg_um     loop netlist granularity (loop.max_segment_length, um)
 ///   loop_extract_um loop field-solver granularity
 ///                   (loop.extraction.max_segment_length, um)
+///   method          dense | fft | auto (loop.extraction.mqs.method)
+///   fft_pitch_um    voxel pitch of the fft method (0 = auto-select)
+///   fft_precond     none | diag | blockdiag | shell | trunc
+///   gmres_tol       GMRES relative-residual tolerance
+///   gmres_restart   GMRES restart (Krylov space) dimension
+///   fft_auto_threshold  filament count where Auto switches to fft
 ///   trunc_ratio     params.truncation_ratio
 ///   shell_um        params.shell_radius (um)
 ///   kmatrix_ratio   params.kmatrix_ratio

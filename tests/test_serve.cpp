@@ -125,7 +125,7 @@ TEST_F(ServeTest, RequestDecodeRejectsOutOfRangeEnum) {
   // The flow octet sits right after the codec version + layout block; flip
   // it to an impossible value by re-encoding with a corrupted options flow.
   store::ByteWriter w;
-  w.u16(1);  // kCodecVersion
+  w.u16(2);  // kCodecVersion
   store::serde::put(w, req.layout);
   w.u8(0xEE);  // flow — far beyond Flow::LoopRlc
   auto corrupt = w.take();

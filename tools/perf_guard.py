@@ -1,32 +1,47 @@
 #!/usr/bin/env python3
 """Perf-regression guard for BENCH_*.json files.
 
-Compares the summed wall time of every `factor.*` and `solve.*` timer in a
-fresh bench report against a committed baseline and fails (exit 1) when the
-current total exceeds the baseline by more than --max-ratio. Solver work is
-what this repo's PRs optimise; the other phases (extract/assemble) are
-guarded indirectly through the wall-clock numbers tracked per PR.
+Two complementary gates:
+
+1. Aggregate gate (positional `baseline`): compares the summed wall time of
+   every guarded timer in a fresh bench report against a committed baseline
+   report and fails (exit 1) when the current total exceeds the baseline by
+   more than --max-ratio. Solver work is what this repo's PRs optimise; the
+   other phases (extract/assemble) are guarded indirectly through the
+   wall-clock numbers tracked per PR.
+
+2. Per-timer manifest gate (--manifest): a JSON manifest maps each bench
+   name (the report's top-level "bench" field) to learned per-timer
+   baselines. Every guarded timer is gated individually, so a regression in
+   one stage (say fast.precond_factor) cannot hide behind an improvement in
+   another. Re-learn after an intentional perf change with --learn, which
+   rewrites the manifest entry from the current report and exits.
+
+Guarded timers: factor.*, solve.* (including solve.mqs_port) and fast.*.
 
 Usage:
     python3 tools/perf_guard.py BENCH_table1_clocknet.json \
         BENCH_baseline.json --max-ratio 1.25
+    python3 tools/perf_guard.py BENCH_fft.json \
+        --manifest tools/perf_baselines.json --max-timer-ratio 2.0
+    python3 tools/perf_guard.py BENCH_fft.json \
+        --manifest tools/perf_baselines.json --learn
 """
 
 import argparse
 import json
 import sys
 
-GUARDED_PREFIXES = ("factor.", "solve.")
+GUARDED_PREFIXES = ("factor.", "solve.", "fast.")
 
 
-def guarded_total_ms(metrics):
+def guarded_timers_ms(metrics):
     timers = metrics.get("timers", {})
-    picked = {
+    return {
         name: stat["total_ms"]
         for name, stat in timers.items()
         if name.startswith(GUARDED_PREFIXES)
     }
-    return sum(picked.values()), picked
 
 
 def govern_overhead_check(metrics, solver_ms, max_fraction):
@@ -46,8 +61,8 @@ def govern_overhead_check(metrics, solver_ms, max_fraction):
           f"({fraction * 100.0:.2f}%, limit {max_fraction * 100.0:.0f}%)")
     if fraction > max_fraction:
         print(f"perf_guard: FAIL — governance checkpoints cost "
-              f"{fraction * 100.0:.1f}% of factor+solve with no budget set",
-              file=sys.stderr)
+              f"{fraction * 100.0:.1f}% of guarded solver time with no "
+              f"budget set", file=sys.stderr)
         return 1
     return 0
 
@@ -92,10 +107,93 @@ def serve_gate(current_report, baseline_report, max_ratio):
     return 0
 
 
+def learn_manifest(report, manifest_path):
+    """Rewrites this bench's manifest entry from the current report."""
+    bench = report.get("bench", "")
+    if not bench:
+        print("perf_guard: report has no bench name; cannot learn",
+              file=sys.stderr)
+        return 1
+    timers = guarded_timers_ms(report.get("metrics", report))
+    try:
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+    except FileNotFoundError:
+        manifest = {}
+    manifest[bench] = {
+        "timers_ms": {name: round(ms, 3) for name, ms in sorted(timers.items())}
+    }
+    with open(manifest_path, "w") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perf_guard: learned {len(timers)} timer baselines for "
+          f"'{bench}' into {manifest_path}")
+    return 0
+
+
+def manifest_gate(report, manifest_path, max_ratio, floor_ms):
+    """Per-timer gate against the learned manifest entry for this bench.
+
+    A timer fails only when its current total exceeds both the noise floor
+    and max_ratio times its baseline (the floor keeps sub-millisecond timers
+    from tripping on scheduler jitter). Guarded timers that appear in the
+    run but not in the manifest are reported so the baseline gets re-learned,
+    but do not fail the gate."""
+    bench = report.get("bench", "")
+    try:
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+    except FileNotFoundError:
+        print(f"perf_guard: no manifest at {manifest_path}; "
+              f"per-timer gate skipped")
+        return 0
+    entry = manifest.get(bench)
+    if entry is None:
+        print(f"perf_guard: bench '{bench}' not in {manifest_path}; "
+              f"per-timer gate skipped (run with --learn to add it)")
+        return 0
+    baseline = entry.get("timers_ms", {})
+    current = guarded_timers_ms(report.get("metrics", report))
+    failures = []
+    for name in sorted(set(current) | set(baseline)):
+        cur = current.get(name, 0.0)
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name:40s} {cur:10.1f} ms (new — not in manifest)")
+            continue
+        limit = max(base, floor_ms) * max_ratio
+        status = "ok"
+        if cur > floor_ms and cur > limit:
+            status = "FAIL"
+            failures.append(name)
+        print(f"  {name:40s} {cur:10.1f} ms "
+              f"(baseline {base:10.1f} ms, limit {limit:8.1f} ms) {status}")
+    if failures:
+        print(f"perf_guard: FAIL — per-timer regression past the "
+              f"{max_ratio:.2f}x budget in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"perf_guard: per-timer manifest gate OK for '{bench}'")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="fresh BENCH_<name>.json")
-    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed baseline BENCH json (aggregate gate)")
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="JSON manifest of learned per-bench timer baselines "
+        "(tools/perf_baselines.json); enables the per-timer gate",
+    )
+    parser.add_argument(
+        "--learn",
+        action="store_true",
+        help="rewrite this bench's manifest entry from the current report "
+        "and exit (requires --manifest)",
+    )
     parser.add_argument(
         "--max-ratio",
         type=float,
@@ -103,11 +201,26 @@ def main():
         help="fail when current/baseline exceeds this (default 1.25)",
     )
     parser.add_argument(
+        "--max-timer-ratio",
+        type=float,
+        default=2.0,
+        help="per-timer manifest gate fails when a guarded timer exceeds "
+        "this multiple of its learned baseline (default 2.0; individual "
+        "timers are noisier than the aggregate)",
+    )
+    parser.add_argument(
+        "--timer-floor-ms",
+        type=float,
+        default=25.0,
+        help="per-timer gate ignores timers whose current total is below "
+        "this (default 25 ms; jitter floor)",
+    )
+    parser.add_argument(
         "--max-govern-overhead",
         type=float,
         default=0.02,
         help="fail when estimated govern.* checkpoint cost exceeds this "
-        "fraction of factor+solve time in an unbudgeted run (default 0.02)",
+        "fraction of guarded solver time in an unbudgeted run (default 0.02)",
     )
     parser.add_argument(
         "--max-serve-ratio",
@@ -119,22 +232,37 @@ def main():
     args = parser.parse_args()
 
     current_report = load_report(args.current)
-    baseline_report = load_report(args.baseline)
+    if args.learn:
+        if not args.manifest:
+            parser.error("--learn requires --manifest")
+        return learn_manifest(current_report, args.manifest)
+
     current_metrics = current_report.get("metrics", current_report)
-    current_ms, current = guarded_total_ms(current_metrics)
-    baseline_ms, baseline = guarded_total_ms(
-        baseline_report.get("metrics", baseline_report))
+    current = guarded_timers_ms(current_metrics)
+    current_ms = sum(current.values())
     if govern_overhead_check(current_metrics, current_ms,
                              args.max_govern_overhead):
         return 1
+    if args.manifest and manifest_gate(current_report, args.manifest,
+                                       args.max_timer_ratio,
+                                       args.timer_floor_ms):
+        return 1
+    if args.baseline is None:
+        print("perf_guard: no baseline report given; aggregate gate skipped")
+        return 0
+
+    baseline_report = load_report(args.baseline)
     if serve_gate(current_report, baseline_report, args.max_serve_ratio):
         return 1
+    baseline = guarded_timers_ms(baseline_report.get("metrics",
+                                                     baseline_report))
+    baseline_ms = sum(baseline.values())
     if baseline_ms <= 0.0:
-        print("perf_guard: baseline has no factor.*/solve.* timers; skipping")
+        print("perf_guard: baseline has no guarded timers; skipping")
         return 0
 
     ratio = current_ms / baseline_ms
-    print(f"perf_guard: factor.* + solve.* total "
+    print(f"perf_guard: factor.* + solve.* + fast.* total "
           f"{current_ms:.1f} ms vs baseline {baseline_ms:.1f} ms "
           f"(ratio {ratio:.2f}, limit {args.max_ratio:.2f})")
     for name in sorted(set(current) | set(baseline)):
