@@ -3,19 +3,69 @@
 // dense/sparse factorisation, transient stepping.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
 #include "bench_common.hpp"
 #include "circuit/transient.hpp"
 #include "extract/partial_inductance.hpp"
 #include "la/lu.hpp"
+#include "la/refine.hpp"
 #include "la/sparse_lu.hpp"
 #include "peec/model_builder.hpp"
 #include "runtime/bench_report.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 using namespace ind;
 using geom::um;
 
 namespace {
+
+// Deterministic diagonally-dominant dense test matrix (well-conditioned, so
+// the f32 factor passes the mixed-precision guard and refinement converges).
+la::Matrix dominant_matrix(std::size_t n, std::uint64_t seed) {
+  la::Matrix a(n, n);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      a(i, j) = static_cast<double>(s >> 11) /
+                    static_cast<double>(1ULL << 53) -
+                0.5;
+      if (i == j) a(i, j) += static_cast<double>(n);
+    }
+  return a;
+}
+
+std::uint64_t fnv1a_bytes(const void* p, std::size_t nbytes,
+                          std::uint64_t h = 1469598103934665603ULL) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Factor digest: packed LU bytes + permutation. Published via max_count so
+// runs at different IND_THREADS can be diffed for bitwise equality straight
+// from BENCH_kernels.json.
+void publish_factor_digest(const char* name, const la::LU& f) {
+  const std::size_t n = f.size();
+  std::uint64_t h =
+      fnv1a_bytes(f.packed().data(), n * n * sizeof(double));
+  h = fnv1a_bytes(f.perm().data(), n * sizeof(std::size_t), h);
+  runtime::MetricsRegistry::instance().max_count(
+      name, static_cast<std::int64_t>(h & 0x7fffffffffffffffULL));
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 std::vector<geom::Segment> bus_segments(int n) {
   std::vector<geom::Segment> segs;
@@ -78,6 +128,127 @@ void BM_DenseLuFactor(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_DenseLuFactor)->Range(32, 512)->Complexity();
+
+// Block-size sweep at n = 512: Arg(1) is the classic unblocked elimination,
+// the rest are cache-blocked panel widths (0 = the IND_LU_BLOCK default).
+void BM_DenseLuFactorBlocked(benchmark::State& state) {
+  const std::size_t n = 512;
+  const auto blk = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = dominant_matrix(n, 17);
+  for (auto _ : state) {
+    la::Matrix copy = a;
+    benchmark::DoNotOptimize(
+        la::LU(std::move(copy), la::LuOptions{.block = blk}));
+  }
+}
+BENCHMARK(BM_DenseLuFactorBlocked)
+    ->Arg(1)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// Headline blocked-vs-scalar comparison at n = 2048 (the ROADMAP item-4
+// target). One iteration each; wall-clock and factor digests land in
+// BENCH_kernels.json as kernels.lu2048.* counters so CI can gate the >= 3x
+// speedup and diff the digests across IND_THREADS without parsing gbench
+// output.
+void BM_DenseLu2048Blocked(benchmark::State& state) {
+  const la::Matrix a = dominant_matrix(2048, 29);
+  for (auto _ : state) {
+    la::Matrix copy = a;
+    const auto t0 = std::chrono::steady_clock::now();
+    const la::LU f(std::move(copy));
+    runtime::MetricsRegistry::instance().max_count(
+        "kernels.lu2048.blocked_ms",
+        static_cast<std::int64_t>(std::llround(ms_since(t0))));
+    publish_factor_digest("kernels.lu2048.digest", f);
+    benchmark::DoNotOptimize(f.packed().data());
+  }
+}
+BENCHMARK(BM_DenseLu2048Blocked)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_DenseLu2048Scalar(benchmark::State& state) {
+  const la::Matrix a = dominant_matrix(2048, 29);
+  for (auto _ : state) {
+    la::Matrix copy = a;
+    const auto t0 = std::chrono::steady_clock::now();
+    const la::LU f(std::move(copy), la::LuOptions{.block = 1});
+    runtime::MetricsRegistry::instance().max_count(
+        "kernels.lu2048.scalar_ms",
+        static_cast<std::int64_t>(std::llround(ms_since(t0))));
+    // Same counter as the blocked run: max_count keeps whichever value both
+    // agree on, and CI separately asserts the two paths' digests match by
+    // re-running under different IND_THREADS.
+    publish_factor_digest("kernels.lu2048.scalar_digest", f);
+    benchmark::DoNotOptimize(f.packed().data());
+  }
+}
+BENCHMARK(BM_DenseLu2048Scalar)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Mixed-precision solve at n = 2048: f32 blocked factor + f64 refinement,
+// compared against the plain double factor+solve for both wall-clock and
+// the 1e-10 solution-agreement acceptance gate.
+void BM_MixedSolve2048(benchmark::State& state) {
+  const std::size_t n = 2048;
+  const la::Matrix a = dominant_matrix(n, 29);
+  la::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = std::sin(static_cast<double>(i) * 0.37) + 1.5;
+  auto& metrics = runtime::MetricsRegistry::instance();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const la::MixedLuReal mixed(a);
+    la::Vector xm;
+    const la::RefineResult rr = mixed.solve(a, b, xm, {});
+    metrics.max_count("kernels.lu2048.mixed_ms",
+                      static_cast<std::int64_t>(std::llround(ms_since(t0))));
+    metrics.max_count("kernels.lu2048.mixed_converged", rr.converged ? 1 : 0);
+    metrics.max_count(
+        "kernels.lu2048.mixed_digest",
+        static_cast<std::int64_t>(
+            fnv1a_bytes(xm.data(), n * sizeof(double)) &
+            0x7fffffffffffffffULL));
+
+    const auto t1 = std::chrono::steady_clock::now();
+    la::Matrix copy = a;
+    const la::Vector xd = la::LU(std::move(copy)).solve(b);
+    metrics.max_count("kernels.lu2048.double_solve_ms",
+                      static_cast<std::int64_t>(std::llround(ms_since(t1))));
+    // Max relative component error vs the double solution, in units of
+    // 1e-13 (the 1e-10 acceptance bound is 1000).
+    double rel = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      rel = std::max(rel, std::abs(xm[i] - xd[i]) / std::abs(xd[i]));
+    metrics.max_count("kernels.lu2048.mixed_vs_double_e13",
+                      static_cast<std::int64_t>(std::llround(rel * 1e13)));
+    benchmark::DoNotOptimize(xm.data());
+  }
+}
+BENCHMARK(BM_MixedSolve2048)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Batch Grover kernel throughput (the assembly/Toeplitz hot loop).
+void BM_MutualBatch(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<double> l1(n), l2(n), gap(n), gmd(n), out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    l1[k] = um(100.0 + static_cast<double>(k % 13));
+    l2[k] = um(90.0 + static_cast<double>(k % 7));
+    gap[k] = um(static_cast<double>(k % 29) - 10.0);
+    gmd[k] = um(1.0 + 0.1 * static_cast<double>(k % 11));
+  }
+  for (auto _ : state) {
+    extract::mutual_partial_inductance_batch(n, l1.data(), l2.data(),
+                                             gap.data(), gmd.data(),
+                                             out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MutualBatch);
 
 void BM_SparseLuGridFactor(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

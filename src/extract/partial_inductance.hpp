@@ -7,12 +7,27 @@
 // split into narrower filaments first (see extract/skin.hpp).
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "geom/segment.hpp"
 #include "la/dense_matrix.hpp"
 
 namespace ind::extract {
+
+/// Grover's end-point helper F(x, d) = x asinh(x/d) - sqrt(x^2 + d^2),
+/// evaluated in log/sqrt form: asinh(x/d) = log((x + r)/d) with r =
+/// sqrt(x^2 + d^2), and the x < 0 branch rewritten as -log((r - x)/d) so
+/// neither sign suffers cancellation. One inline definition shared by the
+/// scalar kernel, the batch kernel and the Toeplitz lattice table keeps all
+/// three bitwise-consistent (the fast path's "exact on aligned layouts"
+/// contract depends on it). Requires d > 0.
+inline double grover_f(double x, double d) {
+  const double r = std::sqrt(x * x + d * d);
+  const double t = x >= 0.0 ? std::log((x + r) / d) : -std::log((r - x) / d);
+  return x * t - r;
+}
 
 /// Partial self-inductance (henries) of a rectangular bar of length `len`,
 /// width `w`, thickness `t` (metres). Ruehli's form of Grover's formula:
@@ -33,11 +48,38 @@ double self_gmd(double w, double t);
 double mutual_partial_inductance(double l1, double l2, double axial_gap,
                                  double gmd);
 
+/// Batch variant: out[i] = mutual_partial_inductance(l1[i], l2[i],
+/// axial_gap[i], gmd[i]) with per-element arithmetic identical to the
+/// scalar call (same inlined kernel), in one auto-vectorizable sweep.
+/// Throws std::invalid_argument on the first non-positive gmd whose pair
+/// has positive lengths; `out` may be partially written in that case.
+void mutual_partial_inductance_batch(std::size_t n, const double* l1,
+                                     const double* l2, const double* axial_gap,
+                                     const double* gmd, double* out);
+
+/// Grover arguments of a parallel pair with the geometry already computed:
+/// lengths, axial gap, the PSD GMD clamp, and the orientation sign.
+struct MutualArgs {
+  double l1 = 0.0;
+  double l2 = 0.0;
+  double axial_gap = 0.0;
+  double gmd = 0.0;
+  double sign = 1.0;
+};
+MutualArgs mutual_args(const geom::Segment& s, const geom::Segment& t,
+                       const geom::ParallelGeometry& g);
+
 /// Mutual partial inductance between two parallel segments, signed by their
 /// current orientation (currents defined from node a to node b): segments
 /// pointing in opposite directions get a negative entry. Returns 0 for
 /// orthogonal segments.
 double mutual_between(const geom::Segment& s, const geom::Segment& t);
+
+/// Same, with the parallel geometry already in hand — assembly loops that
+/// needed it for their window check pass it through so each pair's geometry
+/// is evaluated exactly once.
+double mutual_between(const geom::Segment& s, const geom::Segment& t,
+                      const geom::ParallelGeometry& g);
 
 struct PartialMatrixOptions {
   /// Mutual terms between segments with centre distance beyond this window

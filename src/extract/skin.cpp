@@ -2,21 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace ind::extract {
 
 double skin_depth(double rho_ohm_m, double freq_hz) {
+  if (!(rho_ohm_m > 0.0))
+    throw std::invalid_argument("skin_depth: resistivity must be > 0");
+  // DC (and negative-frequency inputs from sweep underflow) has no skin
+  // depth: current fills the whole cross-section. An infinite depth is the
+  // natural sentinel — every "is the conductor thicker than delta?" test
+  // comes out false, so callers need no special casing.
+  if (freq_hz <= 0.0) return std::numeric_limits<double>::infinity();
   return std::sqrt(rho_ohm_m / (M_PI * freq_hz * geom::kMu0));
 }
 
 std::vector<geom::Segment> split_for_skin(const geom::Segment& s,
                                           const SkinSplitOptions& opts) {
-  const int nw = std::clamp(
-      static_cast<int>(std::ceil(s.width / opts.max_width)), 1,
-      opts.max_filaments_per_axis);
-  const int nt = std::clamp(
-      static_cast<int>(std::ceil(s.thickness / opts.max_thickness)), 1,
-      opts.max_filaments_per_axis);
+  if (!(opts.max_width > 0.0) || !(opts.max_thickness > 0.0))
+    throw std::invalid_argument(
+        "split_for_skin: max_width / max_thickness must be > 0");
+  if (opts.max_filaments_per_axis < 1)
+    throw std::invalid_argument(
+        "split_for_skin: max_filaments_per_axis must be >= 1");
+  // Clamp in double BEFORE the int cast: a tiny max_width can push
+  // ceil(width / max_width) far past INT_MAX, and float-to-int conversion of
+  // an out-of-range value is undefined behaviour, not saturation.
+  const auto split_count = [&opts](double extent, double max_extent) {
+    double c = std::ceil(extent / max_extent);
+    if (!(c > 1.0)) c = 1.0;  // also catches NaN from 0/0
+    c = std::min(c, static_cast<double>(opts.max_filaments_per_axis));
+    return static_cast<int>(c);
+  };
+  const int nw = split_count(s.width, opts.max_width);
+  const int nt = split_count(s.thickness, opts.max_thickness);
 
   std::vector<geom::Segment> out;
   out.reserve(static_cast<std::size_t>(nw) * nt);

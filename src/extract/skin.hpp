@@ -15,18 +15,25 @@
 namespace ind::extract {
 
 struct SkinSplitOptions {
-  double max_width = geom::um(2.0);      ///< max filament width
-  double max_thickness = geom::um(2.0);  ///< max filament thickness
-  int max_filaments_per_axis = 8;        ///< cap on the split factor
+  double max_width = geom::um(2.0);      ///< max filament width (> 0)
+  double max_thickness = geom::um(2.0);  ///< max filament thickness (> 0)
+  int max_filaments_per_axis = 8;        ///< cap on the split factor (>= 1)
 };
 
 /// Skin depth (metres) of a conductor with resistivity rho (ohm-m) at
-/// frequency f (Hz): delta = sqrt(rho / (pi f mu0)).
+/// frequency f (Hz): delta = sqrt(rho / (pi f mu0)). At DC (freq_hz <= 0)
+/// returns +infinity — current fills the whole cross-section, so every
+/// "thicker than delta?" comparison is false without special casing.
+/// Throws std::invalid_argument for non-positive resistivity.
 double skin_depth(double rho_ohm_m, double freq_hz);
 
 /// Splits a segment laterally (and vertically if thick) into filaments with
 /// identical length that share the original end cross-sections. Each
-/// filament keeps the parent's net/kind/layer; widths divide evenly.
+/// filament keeps the parent's net/kind/layer; widths divide evenly. The
+/// split factor per axis is clamped to max_filaments_per_axis before any
+/// narrowing conversion, so arbitrarily small max_width / max_thickness are
+/// safe. Throws std::invalid_argument for invalid options (non-positive
+/// max extents, cap below 1).
 std::vector<geom::Segment> split_for_skin(const geom::Segment& s,
                                           const SkinSplitOptions& opts = {});
 

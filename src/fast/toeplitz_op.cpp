@@ -28,31 +28,26 @@ bool slot_offset(std::size_t t, std::size_t c, std::size_t e,
   return false;
 }
 
-}  // namespace
-
-double ToeplitzLOperator::kernel(geom::Axis axis, std::int64_t dx,
-                                 std::int64_t dy, std::int64_t dz) const {
-  const double p = grid_.pitch;
-  const double w = grid_.width, t = grid_.thickness;
-  if (dx == 0 && dy == 0 && dz == 0)
-    return extract::self_partial_inductance(p, w, t);
-  // Canonical offset sign: K is even in the offset mathematically, but the
-  // +d and -d segment placements round differently at the ULP level.
-  // Evaluating only the lexicographically positive representative makes the
-  // operator (and to_dense()) exactly symmetric.
+/// Two representative cells at the lattice offset (dx, dy, dz); same
+/// formulas (and the same GMD clamp) as the dense extractor, so the
+/// voxelized system on an aligned layout is the dense system, exactly.
+/// Canonical offset sign first: K is even in the offset mathematically, but
+/// the +d and -d segment placements round differently at the ULP level —
+/// evaluating only the lexicographically positive representative makes the
+/// operator (and to_dense()) exactly symmetric.
+void offset_segments(const VoxelGrid& grid, geom::Axis axis, std::int64_t dx,
+                     std::int64_t dy, std::int64_t dz, geom::Segment& s0,
+                     geom::Segment& s1) {
   if (dx < 0 || (dx == 0 && (dy < 0 || (dy == 0 && dz < 0)))) {
     dx = -dx;
     dy = -dy;
     dz = -dz;
   }
-  // Two representative cells at the lattice offset; same formulas (and the
-  // same GMD clamp) as the dense extractor, so the voxelized system on an
-  // aligned layout is the dense system, exactly.
-  geom::Segment s0, s1;
-  s0.width = s1.width = w;
-  s0.thickness = s1.thickness = t;
+  const double p = grid.pitch;
+  s0.width = s1.width = grid.width;
+  s0.thickness = s1.thickness = grid.thickness;
   s0.z = 0.0;
-  s1.z = static_cast<double>(dz) * grid_.pitch_z;
+  s1.z = static_cast<double>(dz) * grid.pitch_z;
   const double ox = static_cast<double>(dx) * p;
   const double oy = static_cast<double>(dy) * p;
   if (axis == geom::Axis::X) {
@@ -66,6 +61,17 @@ double ToeplitzLOperator::kernel(geom::Axis axis, std::int64_t dx,
     s1.a = {ox, oy};
     s1.b = {ox, oy + p};
   }
+}
+
+}  // namespace
+
+double ToeplitzLOperator::kernel(geom::Axis axis, std::int64_t dx,
+                                 std::int64_t dy, std::int64_t dz) const {
+  if (dx == 0 && dy == 0 && dz == 0)
+    return extract::self_partial_inductance(grid_.pitch, grid_.width,
+                                            grid_.thickness);
+  geom::Segment s0, s1;
+  offset_segments(grid_, axis, dx, dy, dz, s0, s1);
   return extract::mutual_between(s0, s1);
 }
 
@@ -122,18 +128,56 @@ void ToeplitzLOperator::build_block(Block& block) {
       block.embed[0],
       [&](std::size_t begin, std::size_t end) {
         if (govern::checkpoint((end - begin) * e1 * e2 / 64 + 1)) return;
+        // Per (t0, t1) row: gather the Grover arguments of every valid t2
+        // slot, evaluate them in one batch sweep, scatter back. Geometry and
+        // sign come from the same mutual_args the scalar kernel() uses and
+        // the batch kernel's per-element arithmetic matches the scalar call,
+        // so this path stays bitwise-identical to filling each slot with
+        // kernel() — the Toeplitz-vs-dense exactness test pins that down.
+        std::vector<std::size_t> slots;
+        std::vector<double> bl1, bl2, bgap, bgmd, bsign, bval;
         for (std::size_t t0 = begin; t0 < end; ++t0) {
           std::int64_t d0;
           if (!slot_offset(t0, block.dims[0], block.embed[0], d0)) continue;
           for (std::size_t t1 = 0; t1 < e1; ++t1) {
             std::int64_t d1;
             if (!slot_offset(t1, block.dims[1], e1, d1)) continue;
+            slots.clear();
+            bl1.clear();
+            bl2.clear();
+            bgap.clear();
+            bgmd.clear();
+            bsign.clear();
             for (std::size_t t2 = 0; t2 < e2; ++t2) {
               std::int64_t d2;
               if (!slot_offset(t2, block.dims[2], e2, d2)) continue;
-              kernel_grid[(t0 * e1 + t1) * e2 + t2] =
-                  kernel(axis, d0, d1, d2);
+              const std::size_t slot = (t0 * e1 + t1) * e2 + t2;
+              if (d0 == 0 && d1 == 0 && d2 == 0) {
+                kernel_grid[slot] = extract::self_partial_inductance(
+                    grid_.pitch, grid_.width, grid_.thickness);
+                continue;
+              }
+              geom::Segment s0, s1;
+              offset_segments(grid_, axis, d0, d1, d2, s0, s1);
+              const auto g = geom::parallel_geometry(s0, s1);
+              if (!g) {  // unreachable: lattice cells of one axis are parallel
+                kernel_grid[slot] = la::Complex{};
+                continue;
+              }
+              const extract::MutualArgs a = extract::mutual_args(s0, s1, *g);
+              slots.push_back(slot);
+              bl1.push_back(a.l1);
+              bl2.push_back(a.l2);
+              bgap.push_back(a.axial_gap);
+              bgmd.push_back(a.gmd);
+              bsign.push_back(a.sign);
             }
+            bval.resize(slots.size());
+            extract::mutual_partial_inductance_batch(slots.size(), bl1.data(),
+                                                     bl2.data(), bgap.data(),
+                                                     bgmd.data(), bval.data());
+            for (std::size_t k = 0; k < slots.size(); ++k)
+              kernel_grid[slots[k]] = bsign[k] * bval[k];
           }
         }
       },

@@ -1,7 +1,10 @@
 #include "la/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "la/kernels.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
@@ -11,32 +14,71 @@ std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
   if (a.rows() != a.cols()) return std::nullopt;
   runtime::ScopedTimer timer("factor.cholesky");
   const std::size_t n = a.rows();
+  // Blocked left-looking column panels. Each element L(i, j) accumulates its
+  //   a(i, j) - sum_k l(i, k) l(j, k)
+  // subtractions in ascending k — previous panels in ascending order through
+  // the rank-kb GEMM, then the within-panel columns — which is exactly the
+  // per-element order of the classic per-column loop, so the blocked factor
+  // is bitwise-identical to it (and to itself at any thread count: parallel
+  // chunks own disjoint row ranges).
+  constexpr std::size_t kBlock = 64;
   Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    // Column-panel update: every row i > j depends only on the finished
-    // columns k < j and on l(j, j), so the rows are independent and each
-    // one's arithmetic is identical to the serial loop (bitwise-equal
-    // results at any thread count). Gate small panels past pool dispatch.
-    auto panel = [&](std::size_t i_begin, std::size_t i_end) {
-      for (std::size_t i = i_begin; i < i_end; ++i) {
-        double acc = a(i, j);
-        for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-        l(i, j) = acc / ljj;
-      }
-    };
-    const std::size_t rows = n - j - 1;
-    if (rows >= 64)
-      runtime::parallel_for(
-          rows,
-          [&](std::size_t a_, std::size_t b_) { panel(j + 1 + a_, j + 1 + b_); },
-          {.grain = 16});
-    else
-      panel(j + 1, n);
+  double* const ld = l.data();
+  std::vector<double> pack;  // transposed slice of the panel's finished rows
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::size_t j1 = std::min(j0 + kBlock, n);
+    const std::size_t jb = j1 - j0;
+    // Seed the panel (rows j0..n, cols j0..j1) from A.
+    for (std::size_t i = j0; i < n; ++i)
+      for (std::size_t j = j0; j < j1; ++j) l(i, j) = a(i, j);
+    // Apply every finished panel p: L(j0.., p) * L(j0..j1, p)^T, packed so
+    // the GEMM streams both operands contiguously.
+    for (std::size_t p0 = 0; p0 < j0; p0 += kBlock) {
+      const std::size_t p1 = std::min(p0 + kBlock, j0);
+      const std::size_t pb = p1 - p0;
+      pack.assign(pb * jb, 0.0);
+      for (std::size_t k = 0; k < pb; ++k)
+        for (std::size_t j = 0; j < jb; ++j)
+          pack[k * jb + j] = l(j0 + j, p0 + k);
+      const std::size_t mr = n - j0;
+      auto gemm_rows = [&](std::size_t r0, std::size_t r1) {
+        kernels::gemm_minus(r1 - r0, jb, pb, ld + (j0 + r0) * n + p0, n,
+                            pack.data(), jb, ld + (j0 + r0) * n + j0, n);
+      };
+      if (mr >= 64)
+        runtime::parallel_for(mr, gemm_rows, {.grain = 16});
+      else
+        gemm_rows(0, mr);
+    }
+    // Factor the panel column by column (within-panel left-looking).
+    for (std::size_t j = j0; j < j1; ++j) {
+      double diag = l(j, j);
+      for (std::size_t k = j0; k < j; ++k) diag -= l(j, k) * l(j, k);
+      if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+      const double ljj = std::sqrt(diag);
+      l(j, j) = ljj;
+      auto panel = [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          double acc = l(i, j);
+          for (std::size_t k = j0; k < j; ++k) acc -= l(i, k) * l(j, k);
+          l(i, j) = acc / ljj;
+        }
+      };
+      const std::size_t rows = n - j - 1;
+      if (rows >= 64)
+        runtime::parallel_for(
+            rows,
+            [&](std::size_t a_, std::size_t b_) {
+              panel(j + 1 + a_, j + 1 + b_);
+            },
+            {.grain = 16});
+      else
+        panel(j + 1, n);
+    }
+    // The seed/GEMM touched the diagonal block's strictly-upper slots; L is
+    // lower triangular, so zero them back out.
+    for (std::size_t i = j0; i < j1; ++i)
+      for (std::size_t j = i + 1; j < j1; ++j) l(i, j) = 0.0;
   }
   return Cholesky(std::move(l));
 }

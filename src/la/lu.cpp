@@ -4,8 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
+#include <type_traits>
 
 #include "govern/budget.hpp"
+#include "govern/env.hpp"
+#include "la/kernels.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
@@ -13,90 +17,194 @@ namespace ind::la {
 namespace {
 
 double magnitude(double x) { return std::abs(x); }
+double magnitude(float x) { return std::abs(static_cast<double>(x)); }
 double magnitude(const Complex& x) { return std::abs(x); }
+double magnitude(const std::complex<float>& x) {
+  return std::abs(std::complex<double>(x));
+}
 
 // Unit-magnitude direction of x (Hager estimator); 1 for zero entries.
 double sign_of(double x) { return x >= 0.0 ? 1.0 : -1.0; }
+float sign_of(float x) { return x >= 0.0f ? 1.0f : -1.0f; }
 Complex sign_of(const Complex& x) {
   const double m = std::abs(x);
   return m == 0.0 ? Complex{1.0, 0.0} : x / m;
+}
+std::complex<float> sign_of(const std::complex<float>& x) {
+  const float m = std::abs(x);
+  return m == 0.0f ? std::complex<float>{1.0f, 0.0f} : x / m;
+}
+
+// Scalar field of T: float for the single-precision instantiations (their
+// complex type divides only by float), double otherwise.
+template <typename T>
+struct RealOf {
+  using type = double;
+};
+template <>
+struct RealOf<float> {
+  using type = float;
+};
+template <>
+struct RealOf<std::complex<float>> {
+  using type = float;
+};
+
+template <typename T>
+inline constexpr bool kSinglePrecisionV =
+    std::is_same_v<T, float> || std::is_same_v<T, std::complex<float>>;
+
+// Effective panel width: an explicit LuOptions::block wins, otherwise the
+// process-wide IND_LU_BLOCK knob (read once; the block size must stay fixed
+// within a run for the bitwise-determinism contract).
+std::size_t resolve_block(std::size_t requested) {
+  if (requested != 0) return std::min<std::size_t>(requested, 512);
+  static const std::size_t env_block = static_cast<std::size_t>(
+      govern::env_u64("IND_LU_BLOCK", 48, 1, 512, "la").value);
+  return env_block;
 }
 
 }  // namespace
 
 template <typename T>
-LuFactor<T>::LuFactor(DenseMatrix<T> a) : lu_(std::move(a)) {
+LuFactor<T>::LuFactor(DenseMatrix<T> a, const LuOptions& opts)
+    : lu_(std::move(a)) {
   if (lu_.rows() != lu_.cols())
     throw std::invalid_argument("LuFactor: matrix must be square");
-  runtime::ScopedTimer timer("factor.lu");
+  constexpr bool single = kSinglePrecisionV<T>;
+  runtime::ScopedTimer timer(single ? "factor.lu.f32" : "factor.lu");
   const std::size_t n = lu_.rows();
   runtime::MetricsRegistry::instance().max_count(
-      "factor.lu.max_dim", static_cast<std::int64_t>(n));
+      single ? "factor.lu.f32.max_dim" : "factor.lu.max_dim",
+      static_cast<std::int64_t>(n));
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
 
   // Capture ||A||_1 and max|A| before elimination overwrites the entries;
-  // both feed the post-factorisation condition / growth diagnostics.
+  // both feed the post-factorisation condition / growth diagnostics. (Row
+  // traversal with per-column accumulators keeps the scan cache-friendly;
+  // each column's sum is still accumulated in ascending row order.)
+  T* const d = lu_.data();
   double amax = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    double colsum = 0.0;
+  {
+    std::vector<double> colsum(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
-      const double m = magnitude(lu_(i, j));
-      colsum += m;
-      amax = std::max(amax, m);
+      const T* ri = d + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double m = magnitude(ri[j]);
+        colsum[j] += m;
+        if (m > amax) amax = m;
+      }
     }
-    norm1_ = std::max(norm1_, colsum);
+    for (std::size_t j = 0; j < n; ++j) norm1_ = std::max(norm1_, colsum[j]);
   }
 
-  for (std::size_t k = 0; k < n; ++k) {
-    // Budget poll, one per eliminated column with the trailing row count as
-    // the unit charge — the run total n(n+1)/2 depends only on n, so a
-    // work-budget trip is bitwise deterministic. CancelledError passes
-    // through the recovery ladder (it catches only SingularMatrixError).
-    if (govern::checkpoint(n - k))
-      govern::throw_if_cancelled("lu.factor");
-    // Partial pivoting: pick the largest magnitude in column k.
-    std::size_t pivot = k;
-    double best = magnitude(lu_(k, k));
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double cand = magnitude(lu_(i, k));
-      if (cand > best) {
-        best = cand;
-        pivot = i;
+  const std::size_t nb = resolve_block(opts.block);
+  runtime::CancelToken* const cancel =
+      govern::Governor::instance().cancel_token();
+
+  // Blocked right-looking elimination. Each element receives its updates in
+  // ascending pivot order — panel rank-1s touch only panel columns, the TRSM
+  // applies pivots k0..k1 to the panel's trailing rows in ascending order,
+  // and the GEMM does the same for the trailing matrix — so the factor is
+  // bitwise-identical to the unblocked loop and to itself at any thread
+  // count (disjoint chunk writes, fixed block size).
+  for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+    const std::size_t k1 = std::min(k0 + nb, n);
+
+    // --- panel factor: columns k0..k1 over all remaining rows -------------
+    for (std::size_t k = k0; k < k1; ++k) {
+      // Budget poll, one per eliminated column with the trailing row count
+      // as the unit charge — pure function of (n, k), so a work-budget trip
+      // is bitwise deterministic. CancelledError passes through the recovery
+      // ladder (it catches only SingularMatrixError).
+      if (govern::checkpoint(n - k)) govern::throw_if_cancelled("lu.factor");
+      // Partial pivoting: pick the largest magnitude in column k. The column
+      // is fully updated through pivot k-1 at this point, so the choice —
+      // and the whole permutation — matches the unblocked elimination.
+      std::size_t pivot = k;
+      double best = magnitude(d[k * n + k]);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double cand = magnitude(d[i * n + k]);
+        if (cand > best) {
+          best = cand;
+          pivot = i;
+        }
       }
-    }
-    if (best == 0.0)
-      throw SingularMatrixError("LuFactor: singular matrix at column " +
-                                std::to_string(k));
-    if (pivot != k) {
-      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
-      std::swap(perm_[k], perm_[pivot]);
-      perm_sign_ = -perm_sign_;
-    }
-    const T diag = lu_(k, k);
-    // Trailing-panel update. Each row i > k is eliminated independently with
-    // arithmetic identical to the serial loop (row k is read-only here), so
-    // the parallel path is bitwise-equal to serial; the gate just skips pool
-    // dispatch when the remaining panel is too small to pay for it.
-    auto update_rows = [&](std::size_t i_begin, std::size_t i_end) {
-      for (std::size_t i = i_begin; i < i_end; ++i) {
-        const T factor = lu_(i, k) / diag;
-        lu_(i, k) = factor;
-        if (factor == T{}) continue;
-        for (std::size_t j = k + 1; j < n; ++j)
-          lu_(i, j) -= factor * lu_(k, j);
+      if (best == 0.0)
+        throw SingularMatrixError("LuFactor: singular matrix at column " +
+                                  std::to_string(k));
+      if (pivot != k) {
+        for (std::size_t j = 0; j < n; ++j)
+          std::swap(d[k * n + j], d[pivot * n + j]);
+        std::swap(perm_[k], perm_[pivot]);
+        perm_sign_ = -perm_sign_;
       }
-    };
-    const std::size_t rows = n - k - 1;
-    if (rows >= 64)
+      const T diag = d[k * n + k];
+      const T* const rk = d + k * n;
+      // Rank-1 update restricted to the panel's own columns; the trailing
+      // columns are updated later by the TRSM/GEMM pair in the same
+      // per-element order. No zero-skip: `-0.0 - (-0.0 * x)` and a skipped
+      // update differ in the sign of zero, which would break the bitwise
+      // blocked == unblocked contract.
+      auto panel_rows = [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          T* ri = d + i * n;
+          const T factor = ri[k] / diag;
+          ri[k] = factor;
+          for (std::size_t j = k + 1; j < k1; ++j) ri[j] -= factor * rk[j];
+        }
+      };
+      const std::size_t rows = n - k - 1;
+      if (rows >= 64)
+        runtime::parallel_for(
+            rows,
+            [&](std::size_t a_, std::size_t b_) {
+              panel_rows(k + 1 + a_, k + 1 + b_);
+            },
+            {.grain = 16});
+      else
+        panel_rows(k + 1, n);
+    }
+    if (k1 == n) break;
+
+    const std::size_t kb = k1 - k0;
+    const std::size_t nc = n - k1;  // trailing columns == trailing rows
+
+    // --- TRSM: U block = L_panel^-1 * A(k0..k1, k1..n), column chunks -----
+    // Chunk charges are linear in the column span, so the work-unit total
+    // (nc * kb per panel) is independent of chunking / thread count.
+    if (nc >= 64) {
       runtime::parallel_for(
-          rows,
-          [&](std::size_t a, std::size_t b) {
-            update_rows(k + 1 + a, k + 1 + b);
+          nc,
+          [&](std::size_t jb0, std::size_t jb1) {
+            if (govern::checkpoint((jb1 - jb0) * kb)) return;
+            kernels::trsm_lower_unit_minus(kb, jb1 - jb0, d + k0 * n + k0, n,
+                                           d + k0 * n + k1 + jb0, n);
           },
-          {.grain = 16});
-    else
-      update_rows(k + 1, n);
+          {.grain = 64, .cancel = cancel});
+    } else if (!govern::checkpoint(nc * kb)) {
+      kernels::trsm_lower_unit_minus(kb, nc, d + k0 * n + k0, n,
+                                     d + k0 * n + k1, n);
+    }
+    govern::throw_if_cancelled("lu.factor");
+
+    // --- GEMM: trailing matrix -= L(k1..n, panel) * U(panel, k1..n) -------
+    if (nc >= 64) {
+      runtime::parallel_for(
+          nc,
+          [&](std::size_t i0, std::size_t i1) {
+            if (govern::checkpoint((i1 - i0) * kb)) return;
+            kernels::gemm_minus(i1 - i0, nc, kb, d + (k1 + i0) * n + k0, n,
+                                d + k0 * n + k1, n, d + (k1 + i0) * n + k1,
+                                n);
+          },
+          {.grain = 256, .cancel = cancel});
+    } else if (!govern::checkpoint(nc * kb)) {
+      kernels::gemm_minus(nc, nc, kb, d + k1 * n + k0, n, d + k0 * n + k1, n,
+                          d + k1 * n + k1, n);
+    }
+    govern::throw_if_cancelled("lu.factor");
   }
 
   double umax = 0.0;
@@ -129,17 +237,66 @@ std::vector<T> LuFactor<T>::solve(const std::vector<T>& b) const {
 
 template <typename T>
 DenseMatrix<T> LuFactor<T>::solve(const DenseMatrix<T>& b) const {
+  const std::size_t n = size();
+  // Validate at the call site, not from inside a pool worker.
+  if (b.rows() != n)
+    throw std::invalid_argument("LuFactor::solve: rhs has " +
+                                std::to_string(b.rows()) +
+                                " rows; expected " + std::to_string(n));
   DenseMatrix<T> x(b.rows(), b.cols());
-  // Column-parallel multi-RHS solve: columns are independent and each chunk
-  // writes a disjoint set of them, so this matches the serial column loop.
-  runtime::parallel_for(b.cols(), [&](std::size_t j_begin, std::size_t j_end) {
-    std::vector<T> col(b.rows());
-    for (std::size_t j = j_begin; j < j_end; ++j) {
-      for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-      const auto sol = solve(col);
-      for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
-    }
-  });
+  if (b.cols() == 0 || n == 0) return x;
+  // Blocked multi-RHS solve: disjoint column chunks in parallel, each swept
+  // in narrow strips so one strip of every RHS row stays cache-resident
+  // while the packed factor streams through exactly once per strip. The
+  // per-element update order (ascending j within each row's substitution)
+  // matches the vector solve, so every column is bitwise-identical to
+  // solve(vector).
+  constexpr std::size_t kStrip = 32;
+  const T* const lu = lu_.data();
+  runtime::parallel_for(
+      b.cols(),
+      [&](std::size_t j_begin, std::size_t j_end) {
+        std::vector<T> buf;
+        for (std::size_t s0 = j_begin; s0 < j_end; s0 += kStrip) {
+          const std::size_t s1 = std::min(s0 + kStrip, j_end);
+          const std::size_t w = s1 - s0;
+          buf.assign(n * w, T{});
+          // Permuted gather of the strip.
+          for (std::size_t i = 0; i < n; ++i) {
+            const T* src = b.data() + perm_[i] * b.cols() + s0;
+            T* dst = buf.data() + i * w;
+            for (std::size_t c = 0; c < w; ++c) dst[c] = src[c];
+          }
+          // Forward-substitute with unit-diagonal L.
+          for (std::size_t i = 1; i < n; ++i) {
+            const T* li = lu + i * n;
+            T* xi = buf.data() + i * w;
+            for (std::size_t j = 0; j < i; ++j) {
+              const T lij = li[j];
+              const T* xj = buf.data() + j * w;
+              for (std::size_t c = 0; c < w; ++c) xi[c] -= lij * xj[c];
+            }
+          }
+          // Back-substitute with U.
+          for (std::size_t ii = n; ii-- > 0;) {
+            const T* ui = lu + ii * n;
+            T* xi = buf.data() + ii * w;
+            for (std::size_t j = ii + 1; j < n; ++j) {
+              const T uij = ui[j];
+              const T* xj = buf.data() + j * w;
+              for (std::size_t c = 0; c < w; ++c) xi[c] -= uij * xj[c];
+            }
+            const T diag = ui[ii];
+            for (std::size_t c = 0; c < w; ++c) xi[c] /= diag;
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            const T* src = buf.data() + i * w;
+            T* dst = x.data() + i * x.cols() + s0;
+            for (std::size_t c = 0; c < w; ++c) dst[c] = src[c];
+          }
+        }
+      },
+      {.grain = 4});
   return x;
 }
 
@@ -173,7 +330,8 @@ double LuFactor<T>::condition_estimate() const {
   // Hager's 1-norm estimator for ||A^-1||_1: maximise ||A^-1 x||_1 over the
   // unit 1-norm ball by following sign-vector gradients. Deterministic, a
   // bounded handful of O(n^2) solves.
-  std::vector<T> x(n, T{1.0} / static_cast<double>(n));
+  using R = typename RealOf<T>::type;
+  std::vector<T> x(n, T(static_cast<R>(1.0 / static_cast<double>(n))));
   double est = 0.0;
   std::size_t last_j = n;  // unit-vector index of the previous iteration
   for (int iter = 0; iter < 5; ++iter) {
@@ -211,6 +369,8 @@ T LuFactor<T>::determinant() const {
 
 template class LuFactor<double>;
 template class LuFactor<Complex>;
+template class LuFactor<float>;
+template class LuFactor<std::complex<float>>;
 
 Vector solve(Matrix a, const Vector& b) { return LU(std::move(a)).solve(b); }
 

@@ -3,8 +3,17 @@
 // Used by the transient engine (one factorisation per constant timestep,
 // reused for every step) and by the AC engine (one complex factorisation per
 // frequency point), mirroring how interconnect simulators amortise solves.
+//
+// The elimination is cache-blocked (la/kernels.hpp): panel factor with
+// partial pivoting, unit-lower TRSM on the panel's trailing row block, then
+// a rank-kb GEMM on the trailing matrix. Because every kernel applies the
+// updates to each element in ascending pivot order, the blocked factor is
+// bitwise-identical to the classic unblocked loop (block = 1) and to itself
+// at any IND_THREADS for a fixed block size. float / complex<float>
+// instantiations back the mixed-precision refinement path (la/refine.hpp).
 #pragma once
 
+#include <complex>
 #include <stdexcept>
 
 #include "la/dense_matrix.hpp"
@@ -17,6 +26,16 @@ class SingularMatrixError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Fixed blocking configuration of a factorisation. Results are bitwise
+/// deterministic per configuration: the same block size reproduces the same
+/// bits at any thread count, and every block size is bitwise-identical to
+/// the unblocked elimination (block = 1) by the kernel ordering contract.
+struct LuOptions {
+  /// Panel width. 0 resolves to the IND_LU_BLOCK env knob (default 48,
+  /// clamped to [1, 512]); 1 degenerates to the classic unblocked loop.
+  std::size_t block = 0;
+};
+
 /// LU decomposition P*A = L*U with partial pivoting, stored packed in-place.
 template <typename T>
 class LuFactor {
@@ -24,14 +43,17 @@ class LuFactor {
   LuFactor() = default;
 
   /// Factorises a square matrix. Throws SingularMatrixError on breakdown.
-  explicit LuFactor(DenseMatrix<T> a);
+  explicit LuFactor(DenseMatrix<T> a) : LuFactor(std::move(a), LuOptions{}) {}
+  LuFactor(DenseMatrix<T> a, const LuOptions& opts);
 
   std::size_t size() const { return lu_.rows(); }
 
   /// Solves A x = b.
   std::vector<T> solve(const std::vector<T>& b) const;
 
-  /// Solves A X = B column-by-column.
+  /// Solves A X = B over column blocks (each column's arithmetic is
+  /// bitwise-identical to the vector solve). Throws std::invalid_argument
+  /// up front when B.rows() != size().
   DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
 
   /// Solves A^T x = b (used by the 1-norm condition estimator).
@@ -39,6 +61,13 @@ class LuFactor {
 
   /// Determinant (product of pivots with sign of the permutation).
   T determinant() const;
+
+  /// Packed L\U storage (unit-lower L below the diagonal, U on and above).
+  /// Exposed for the determinism digests in bench/tests.
+  const DenseMatrix<T>& packed() const { return lu_; }
+
+  /// Row permutation: row i of the factored system came from row perm()[i].
+  const std::vector<std::size_t>& perm() const { return perm_; }
 
   // --- robustness diagnostics ----------------------------------------------
   /// 1-norm of the original (unfactored) matrix.
@@ -62,6 +91,9 @@ class LuFactor {
 
 using LU = LuFactor<double>;
 using CLU = LuFactor<Complex>;
+// Single-precision factors of the mixed-precision refinement path.
+using FLU = LuFactor<float>;
+using CFLU = LuFactor<std::complex<float>>;
 
 /// Convenience: solve A x = b with a one-shot factorisation.
 Vector solve(Matrix a, const Vector& b);

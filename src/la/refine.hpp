@@ -1,0 +1,93 @@
+// Mixed-precision dense solves: float32 blocked factor + float64 iterative
+// refinement.
+//
+// A single-precision LU factor costs half the memory traffic of the double
+// factor (the GEMM-dominated blocked elimination is bandwidth-bound at cache
+// block boundaries), and iterative refinement recovers full double accuracy
+// whenever the matrix is well-conditioned relative to float epsilon
+// (kappa << 1/eps_f32 ~ 1.7e7): each sweep computes the residual r = b - A x
+// in double, solves A dx = r with the cheap f32 factor, and applies the
+// correction. Everything is deterministic — the residual row loop has a
+// fixed per-row accumulation order and parallel chunks write disjoint rows,
+// the f32 factor inherits the blocked-LU bitwise contract — so the refined
+// solution is bitwise-reproducible at any IND_THREADS.
+//
+// Guarding and fallback live in robust/recovery.hpp
+// (solve_dense_mixed_with_recovery): a f32 condition estimate or pivot
+// growth past the guard, or a refinement that stalls above tolerance,
+// triggers RecoveryKind::MixedPrecisionFallback and a full-double factor
+// through the standard ladder.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "la/lu.hpp"
+
+namespace ind::la {
+
+/// The working precision's cheap companion type.
+template <typename T>
+struct LowerPrecisionOf;
+template <>
+struct LowerPrecisionOf<double> {
+  using type = float;
+};
+template <>
+struct LowerPrecisionOf<Complex> {
+  using type = std::complex<float>;
+};
+
+struct RefineOptions {
+  /// Relative-residual target: ||b - A x||_inf / (||A||_1 ||x||_inf + ||b||_inf).
+  double tol = 1e-12;
+  /// Refinement sweep cap; well-conditioned systems converge in 2-4 sweeps.
+  int max_iterations = 30;
+  /// Guard on the f32 factor's condition estimate: above this, refinement is
+  /// not expected to converge (eps_f32 ~ 6e-8) and callers should take the
+  /// full-double fallback without burning sweeps.
+  double max_condition = 1e7;
+  /// Guard on the f32 factor's pivot growth (backward-error quality).
+  double max_pivot_growth = 1e8;
+};
+
+struct RefineResult {
+  bool converged = false;
+  int iterations = 0;      ///< refinement sweeps actually applied
+  double residual = -1.0;  ///< best relative residual reached (-1: none)
+};
+
+/// Single-precision factor of a double-precision matrix, plus the refined
+/// solve. The factor is blocked (la/kernels.hpp) and bitwise-deterministic.
+template <typename T>
+class MixedLu {
+ public:
+  using Lo = typename LowerPrecisionOf<T>::type;
+
+  /// Demotes `a` to float precision and factors it. Throws
+  /// SingularMatrixError when the demoted matrix breaks down (e.g. entries
+  /// that underflow to an exactly singular f32 matrix).
+  explicit MixedLu(const DenseMatrix<T>& a, const LuOptions& opts = {});
+
+  std::size_t size() const { return factor_.size(); }
+  const LuFactor<Lo>& factor() const { return factor_; }
+
+  /// Condition estimate of the f32 factor (Hager, in double arithmetic on
+  /// the promoted norms) — the refinement-convergence guard.
+  double condition_estimate() const { return factor_.condition_estimate(); }
+  double pivot_growth() const { return factor_.pivot_growth(); }
+
+  /// Refined solve of A x = b; `a` must be the matrix the constructor saw.
+  /// On a non-converged result, x holds the best iterate reached.
+  RefineResult solve(const DenseMatrix<T>& a, const std::vector<T>& b,
+                     std::vector<T>& x, const RefineOptions& opts = {}) const;
+
+ private:
+  LuFactor<Lo> factor_;
+  double norm1_ = 0.0;  ///< 1-norm of the double-precision A
+};
+
+using MixedLuReal = MixedLu<double>;
+using MixedLuComplex = MixedLu<Complex>;
+
+}  // namespace ind::la

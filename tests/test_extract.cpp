@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "extract/capacitance.hpp"
 #include "extract/extractor.hpp"
@@ -298,6 +299,75 @@ TEST(Extractor, RcOnlySkipsInductance) {
   opts.extract_inductance = false;
   const Extraction x = ind::extract::extract(l, opts);
   EXPECT_TRUE(x.partial_l.empty());
+}
+
+TEST(Skin, SkinDepthDcIsInfinite) {
+  // At DC the current fills the whole cross-section: the documented
+  // sentinel is +infinity, so "thicker than delta?" checks stay false.
+  EXPECT_TRUE(std::isinf(skin_depth(1.7e-8, 0.0)));
+  EXPECT_TRUE(std::isinf(skin_depth(1.7e-8, -1.0)));
+  EXPECT_THROW(skin_depth(0.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(skin_depth(-1.7e-8, 1e9), std::invalid_argument);
+}
+
+TEST(Skin, SplitValidatesOptions) {
+  geom::Segment s;
+  s.a = {0, 0};
+  s.b = {um(100), 0};
+  s.width = um(8);
+  s.thickness = um(1);
+  SkinSplitOptions opts;
+  opts.max_width = 0.0;
+  EXPECT_THROW(split_for_skin(s, opts), std::invalid_argument);
+  opts.max_width = um(2);
+  opts.max_thickness = -um(1);
+  EXPECT_THROW(split_for_skin(s, opts), std::invalid_argument);
+  opts.max_thickness = um(2);
+  opts.max_filaments_per_axis = 0;
+  EXPECT_THROW(split_for_skin(s, opts), std::invalid_argument);
+}
+
+TEST(Skin, TinyMaxWidthClampsToCapWithoutOverflow) {
+  // ceil(width / 1e-300) is ~1e295 — far beyond INT_MAX. The split factor
+  // must clamp to the cap in floating point BEFORE any int conversion.
+  geom::Segment s;
+  s.a = {0, 0};
+  s.b = {um(100), 0};
+  s.width = um(8);
+  s.thickness = um(1);
+  SkinSplitOptions opts;
+  opts.max_width = 1e-300;
+  opts.max_thickness = 1e-300;
+  opts.max_filaments_per_axis = 3;
+  const auto fils = split_for_skin(s, opts);
+  EXPECT_EQ(fils.size(), 9u);  // 3 x 3, exactly the cap per axis
+}
+
+TEST(PartialInductance, BatchMatchesScalarBitwise) {
+  const double l1[] = {um(100), um(50), 0.0, um(80)};
+  const double l2[] = {um(100), um(60), um(10), um(80)};
+  const double gap[] = {um(5), -um(20), um(1), 0.0};
+  const double gmd[] = {um(3), um(1), um(2), um(0.7)};
+  double out[4];
+  mutual_partial_inductance_batch(4, l1, l2, gap, gmd, out);
+  for (int k = 0; k < 4; ++k)
+    EXPECT_EQ(out[k], mutual_partial_inductance(l1[k], l2[k], gap[k], gmd[k]));
+  const double bad_gmd[] = {um(3), 0.0, um(2), um(0.7)};
+  EXPECT_THROW(mutual_partial_inductance_batch(4, l1, l2, gap, bad_gmd, out),
+               std::invalid_argument);
+}
+
+TEST(PartialInductance, MutualBetweenWithGeometryMatches) {
+  geom::Segment s, t;
+  s.a = {0, 0};
+  s.b = {um(100), 0};
+  t.a = {um(20), um(5)};
+  t.b = {um(140), um(5)};
+  s.width = t.width = um(1);
+  s.thickness = t.thickness = um(1);
+  const auto g = geom::parallel_geometry(s, t);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(mutual_between(s, t, *g), mutual_between(s, t));
 }
 
 }  // namespace

@@ -2,16 +2,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "govern/budget.hpp"
 #include "la/amd.hpp"
 #include "la/cholesky.hpp"
 #include "la/dense_matrix.hpp"
 #include "la/eig.hpp"
 #include "la/lu.hpp"
 #include "la/qr.hpp"
+#include "la/refine.hpp"
 #include "la/sparse.hpp"
 #include "la/sparse_lu.hpp"
+#include "robust/recovery.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -535,6 +540,124 @@ TEST(SparseLu, RefactorThrowsOnSingularAndRecovers) {
   const Vector x = lu.solve(b);
   const Vector x_ref = SparseLu(a).solve(b);
   for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_ref[i]);
+}
+
+// Deterministic diagonally-dominant (hence well-conditioned) test matrix.
+Matrix dominant_random(std::size_t n, std::uint64_t seed) {
+  Matrix a(n, n);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      a(i, j) = static_cast<double>(s >> 11) /
+                    static_cast<double>(1ULL << 53) -
+                0.5;
+      if (i == j) a(i, j) += static_cast<double>(n);
+    }
+  return a;
+}
+
+struct ThreadsGuard {
+  ~ThreadsGuard() { ind::runtime::set_global_threads(0); }
+};
+
+TEST(LuBlocked, BlockedMatchesUnblockedBitwiseAtAnyThreads) {
+  const std::size_t n = 96;
+  const Matrix a = dominant_random(n, 7);
+  // block = 1 is the classic unblocked elimination; every blocking and
+  // thread-count configuration must reproduce its factor bit for bit.
+  const LuFactor<double> ref(a, LuOptions{.block = 1});
+  ThreadsGuard guard;
+  for (const unsigned threads : {1u, 4u}) {
+    ind::runtime::set_global_threads(threads);
+    for (const std::size_t blk : {std::size_t{8}, std::size_t{48},
+                                  std::size_t{0} /* env default */}) {
+      const LuFactor<double> f(a, LuOptions{.block = blk});
+      EXPECT_EQ(f.perm(), ref.perm());
+      EXPECT_TRUE(f.packed() == ref.packed());
+    }
+  }
+}
+
+TEST(Lu, MatrixRhsValidatesShapeUpFront) {
+  const Matrix a{{4, -2}, {-2, 4}};
+  const LU lu(a);
+  const Matrix bad(3, 2);  // wrong row count
+  EXPECT_THROW(lu.solve(bad), std::invalid_argument);
+  const Matrix none(2, 0);  // zero columns: early-out, no pool dispatch
+  const Matrix x = lu.solve(none);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), 0u);
+}
+
+TEST(Lu, MultiRhsMatchesVectorSolveBitwise) {
+  const std::size_t n = 40, nrhs = 5;
+  const Matrix a = dominant_random(n, 11);
+  const LU lu(a);
+  Matrix b(n, nrhs);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j)
+      b(i, j) = std::sin(static_cast<double>(i * nrhs + j));
+  const Matrix x = lu.solve(b);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    Vector bj(n);
+    for (std::size_t i = 0; i < n; ++i) bj[i] = b(i, j);
+    const Vector xj = lu.solve(bj);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x(i, j), xj[i]);
+  }
+}
+
+TEST(MixedPrecision, RefinesWellConditionedToTolerance) {
+  const std::size_t n = 64;
+  const Matrix a = dominant_random(n, 23);
+  Vector x_ref(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x_ref[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+  const Vector b = a.apply(x_ref);
+  const MixedLuReal mixed(a);
+  EXPECT_LT(mixed.condition_estimate(), 1e7);
+  Vector x;
+  const RefineResult rr = mixed.solve(a, b, x, {});
+  EXPECT_TRUE(rr.converged);
+  EXPECT_LE(rr.residual, 1e-12);
+  EXPECT_GE(rr.iterations, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-10);
+}
+
+TEST(MixedPrecision, IllConditionedFallsBackDeterministically) {
+  // Hilbert matrix: condition ~1e17 at n = 12, far past the f32 guard, so
+  // the mixed solve must take the MixedPrecisionFallback rung — and that
+  // rung's first ladder step factors the matrix unmodified, so the result
+  // is bitwise-identical to never having tried f32.
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = 1.0 / static_cast<double>(i + j + 1);
+  const Vector b(n, 1.0);
+  ind::robust::SolveReport report;
+  const Vector x =
+      ind::robust::solve_dense_mixed_with_recovery(a, b, report, "test");
+  ASSERT_EQ(x.size(), n);
+  EXPECT_TRUE(report.usable());
+  bool fell_back = false;
+  for (const auto& action : report.actions)
+    fell_back |= action.kind == ind::robust::RecoveryKind::MixedPrecisionFallback;
+  EXPECT_TRUE(fell_back);
+  const Vector x_ref = LU(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], x_ref[i]);
+}
+
+TEST(LuBlocked, WorkBudgetCancelsMidFactor) {
+  auto& gov = ind::govern::Governor::instance();
+  const Matrix a = dominant_random(128, 31);
+  ind::govern::RunBudget budget;
+  budget.work_units = 100;  // far below the factor's ~n^2/2 panel charges
+  gov.configure(budget);
+  gov.begin_run();
+  EXPECT_THROW(LuFactor<double>{a}, ind::govern::CancelledError);
+  gov.configure({});
+  gov.begin_run();
 }
 
 }  // namespace
