@@ -35,6 +35,19 @@ const char* to_string(RecoveryKind kind) {
   return "unknown";
 }
 
+const char* to_string(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::None: return "none";
+    case CrashKind::CleanError: return "clean_error";
+    case CrashKind::Signal: return "signal";
+    case CrashKind::OomKill: return "oom_kill";
+    case CrashKind::RlimitCpu: return "rlimit_cpu";
+    case CrashKind::RlimitMem: return "rlimit_mem";
+    case CrashKind::ExitError: return "exit_error";
+  }
+  return "unknown";
+}
+
 void SolveReport::raise_status(SolveStatus s) {
   if (static_cast<int>(s) > static_cast<int>(status)) status = s;
 }

@@ -44,8 +44,24 @@ enum class RecoveryKind {
                            ///< double refactor through the dense ladder
 };
 
+/// How a sandboxed serve worker process died (or failed), classified from
+/// its waitpid status by serve::classify_worker_exit. Part of the recovery
+/// taxonomy: the supervisor turns these into structured replies (retry on a
+/// sibling, quarantine, WorkerCrashed) instead of letting a tenant's crash
+/// take down the server.
+enum class CrashKind {
+  None = 0,   ///< worker is fine (flight answered normally)
+  CleanError,  ///< worker stayed alive and answered a structured error
+  Signal,      ///< died on an uncaught signal (SIGSEGV, SIGABRT, SIGBUS, ...)
+  OomKill,     ///< SIGKILL — the kernel OOM killer's signature
+  RlimitCpu,   ///< SIGXCPU — per-request RLIMIT_CPU sandbox trip
+  RlimitMem,   ///< worker hit std::bad_alloc under RLIMIT_AS and self-exited
+  ExitError,   ///< exited with an unclassified non-zero (or torn-pipe zero)
+};
+
 const char* to_string(SolveStatus status);
 const char* to_string(RecoveryKind kind);
+const char* to_string(CrashKind kind);
 
 /// One fallback action, in the order taken.
 struct RecoveryAction {

@@ -33,7 +33,7 @@ Config& config() {
 constexpr std::array<const char*, kSiteCount> kSiteNames = {
     "dense_lu_pivot", "sparse_lu_pivot", "transient_step", "krylov_block",
     "ladder_jacobian", "store_read", "budget_check", "serve_read",
-    "store_write", "serve_send", "gmres_iter"};
+    "store_write", "serve_send", "gmres_iter", "worker_exec"};
 
 int site_index_from_name(const std::string& name) {
   for (int i = 0; i < kSiteCount; ++i)

@@ -38,8 +38,9 @@ enum class Site {
   StoreWrite,      ///< an artifact commit is torn mid-write (partial .tmp left)
   ServeSend,       ///< a serve response send fails as if the peer vanished
   GmresIter,       ///< a GMRES iteration is treated as a numerical breakdown
+  WorkerExec,      ///< a dispatched serve worker is killed mid-flight
 };
-inline constexpr int kSiteCount = 11;
+inline constexpr int kSiteCount = 12;
 
 namespace detail {
 extern std::atomic<bool> g_active;

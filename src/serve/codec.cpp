@@ -276,6 +276,11 @@ void put_request(store::ByteWriter& w, const Request& req) {
   put_request_with_budget(w, req, req.budget);
 }
 
+void put_request(store::ByteWriter& w, const Request& req,
+                 const govern::RunBudget& effective_budget) {
+  put_request_with_budget(w, req, effective_budget);
+}
+
 void get_request(store::ByteReader& r, Request& req) {
   const std::uint16_t version = r.u16();
   if (version != kCodecVersion)

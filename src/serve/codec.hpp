@@ -75,6 +75,13 @@ struct Response {
 // --- binary serde ----------------------------------------------------------
 
 void put_request(store::ByteWriter& w, const Request& req);
+/// Canonical encoding with the budget fields taken from `effective_budget`
+/// instead of req.budget. The worker-pool supervisor dispatches flights in
+/// this form so a worker's get_request() sees the budget the server already
+/// clamped — re-deriving the sandbox inside the worker stays a pure function
+/// of the dispatched bytes.
+void put_request(store::ByteWriter& w, const Request& req,
+                 const govern::RunBudget& effective_budget);
 /// Throws store::StoreError on truncated/malformed input and
 /// std::invalid_argument on out-of-range enum values.
 void get_request(store::ByteReader& r, Request& req);

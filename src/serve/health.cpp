@@ -24,6 +24,17 @@ Frame make_health(const HealthStatus& status) {
   w.u64(status.watchdog_trips);
   w.u8(status.degraded ? 1 : 0);
   w.u8(status.draining ? 1 : 0);
+  w.u64(status.workers);
+  w.u64(status.workers_alive);
+  w.u64(status.workers_respawning);
+  w.u64(status.worker_crashes_signal);
+  w.u64(status.worker_crashes_oom);
+  w.u64(status.worker_crashes_rlimit);
+  w.u64(status.worker_crash_retries);
+  w.u64(status.worker_respawns);
+  w.u64(status.quarantined);
+  w.u64(status.worker_pids.size());
+  for (std::uint64_t pid : status.worker_pids) w.u64(pid);
   f.payload = w.take();
   return f;
 }
@@ -41,6 +52,18 @@ HealthStatus decode_health(const std::vector<std::uint8_t>& payload) {
   s.watchdog_trips = r.u64();
   s.degraded = r.u8() != 0;
   s.draining = r.u8() != 0;
+  s.workers = r.u64();
+  s.workers_alive = r.u64();
+  s.workers_respawning = r.u64();
+  s.worker_crashes_signal = r.u64();
+  s.worker_crashes_oom = r.u64();
+  s.worker_crashes_rlimit = r.u64();
+  s.worker_crash_retries = r.u64();
+  s.worker_respawns = r.u64();
+  s.quarantined = r.u64();
+  const std::uint64_t npids = r.u64();
+  s.worker_pids.reserve(npids);
+  for (std::uint64_t i = 0; i < npids; ++i) s.worker_pids.push_back(r.u64());
   return s;
 }
 

@@ -41,6 +41,21 @@ struct HealthStatus {
   std::uint64_t watchdog_trips = 0;  ///< times the watchdog declared a wedge
   bool degraded = false;             ///< watchdog-tripped; shedding new work
   bool draining = false;             ///< shutdown in progress
+
+  // Worker-pool state (all zero when IND_SERVE_WORKERS=0 keeps analyses
+  // in-process). Crash counts follow the robust::CrashKind taxonomy.
+  std::uint64_t workers = 0;             ///< configured worker lanes
+  std::uint64_t workers_alive = 0;       ///< idle or busy worker processes
+  std::uint64_t workers_respawning = 0;  ///< dead slots awaiting backoff
+  std::uint64_t worker_crashes_signal = 0;  ///< uncaught-signal deaths
+  std::uint64_t worker_crashes_oom = 0;     ///< SIGKILL (OOM-killer) deaths
+  std::uint64_t worker_crashes_rlimit = 0;  ///< RLIMIT_CPU / RLIMIT_AS trips
+  std::uint64_t worker_crash_retries = 0;   ///< flights retried on a sibling
+  std::uint64_t worker_respawns = 0;        ///< successful respawns
+  std::uint64_t quarantined = 0;            ///< poisoned fingerprints held
+  /// Live worker pids, so chaos tooling (ind_loadgen --kill-worker) can pick
+  /// victims without groping around in /proc.
+  std::vector<std::uint64_t> worker_pids;
 };
 
 Frame make_health_request();

@@ -81,6 +81,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::QueueFull: return "queue_full";
     case ErrorCode::ShuttingDown: return "shutting_down";
     case ErrorCode::ConnectionLost: return "connection_lost";
+    case ErrorCode::WorkerCrashed: return "worker_crashed";
+    case ErrorCode::PoisonedRequest: return "poisoned_request";
   }
   return "?";
 }

@@ -81,6 +81,15 @@ enum class ErrorCode : std::uint32_t {
   /// or an armed SO_RCVTIMEO expiring. Always safe to retry on a fresh
   /// connection because the server dedups by request fingerprint.
   ConnectionLost = 10,
+  /// The sandboxed worker process running this request died (classified by
+  /// robust::CrashKind in the detail text) and the one sibling retry also
+  /// failed. The server itself is fine; other tenants were not affected.
+  WorkerCrashed = 11,
+  /// This request's fingerprint has killed IND_SERVE_POISON_THRESHOLD
+  /// workers and is quarantined: the server answers instantly instead of
+  /// crash-looping the fleet. Not retryable — the same bytes would be
+  /// rejected again.
+  PoisonedRequest = 12,
 };
 
 const char* to_string(ErrorCode code);

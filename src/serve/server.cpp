@@ -10,6 +10,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -84,6 +85,37 @@ ServerConfig ServerConfig::from_env() {
       govern::env_u64("IND_SERVE_WATCHDOG_ABORT", c.watchdog_abort ? 1 : 0, 0,
                       1, "serve")
           .value != 0;
+  c.workers = static_cast<std::size_t>(
+      govern::env_u64("IND_SERVE_WORKERS", 0, 0, 256, "serve").value);
+  c.poison_threshold = static_cast<int>(
+      govern::env_u64("IND_SERVE_POISON_THRESHOLD",
+                      static_cast<std::uint64_t>(c.poison_threshold), 1, 1000,
+                      "serve")
+          .value);
+  c.worker_respawn_ms = govern::env_ms("IND_SERVE_RESPAWN_MS",
+                                       c.worker_respawn_ms, 1, 600'000, "serve")
+                            .value;
+  c.worker_as_slack_bytes =
+      govern::env_u64("IND_SERVE_WORKER_AS_SLACK_MB",
+                      c.worker_as_slack_bytes >> 20, 1, 1u << 20, "serve")
+          .value
+      << 20;
+  c.worker_cpu_slack_s =
+      govern::env_u64("IND_SERVE_WORKER_CPU_SLACK_S", c.worker_cpu_slack_s, 1,
+                      3600, "serve")
+          .value;
+  if (const char* bin = std::getenv("IND_SERVE_WORKER_BIN");
+      bin != nullptr && *bin != '\0')
+    c.worker_bin = bin;
+  if (const char* sig = std::getenv("IND_SERVE_FAULT_SIGNAL");
+      sig != nullptr && *sig != '\0') {
+    const std::string name(sig);
+    if (name == "segv") c.worker_fault_signal = SIGSEGV;
+    else if (name == "kill") c.worker_fault_signal = SIGKILL;
+    else if (name == "xcpu") c.worker_fault_signal = SIGXCPU;
+    else if (name == "abrt") c.worker_fault_signal = SIGABRT;
+    // Unknown names keep the SIGSEGV default (the chaos knob is best-effort).
+  }
   return c;
 }
 
@@ -160,6 +192,12 @@ Server::~Server() {
 }
 
 void Server::start() {
+  // Defence in depth (satellite of the worker-pool work, but it protects
+  // every send path): a peer or worker pipe closing mid-write must surface
+  // as EPIPE — which write_frame already maps to "dead peer" — never as a
+  // process-killing SIGPIPE. The socket sends use MSG_NOSIGNAL, but the
+  // worker socketpairs and any future plain write() go through this.
+  ::signal(SIGPIPE, SIG_IGN);
   if (config_.uds_path.empty()) {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
@@ -201,9 +239,25 @@ void Server::start() {
     throw std::runtime_error(std::string("serve: listen: ") +
                              std::strerror(errno));
 
+  if (config_.workers > 0) {
+    WorkerPool::Config wc;
+    wc.workers = config_.workers;
+    wc.worker_bin = config_.worker_bin;
+    wc.poison_threshold = config_.poison_threshold;
+    wc.respawn_backoff_ms = config_.worker_respawn_ms;
+    wc.max_frame_bytes = config_.max_frame_bytes;
+    wc.as_slack_bytes = config_.worker_as_slack_bytes;
+    wc.cpu_slack_seconds = config_.worker_cpu_slack_s;
+    wc.fault_signal = config_.worker_fault_signal;
+    pool_ = std::make_unique<WorkerPool>(std::move(wc));
+    pool_->start();  // throws if no worker can start; the server stays down
+  }
+
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
-  executor_thread_ = std::thread([this] { executor_loop(); });
+  const std::size_t lanes = pool_ ? config_.workers : 1;
+  for (std::size_t i = 0; i < lanes; ++i)
+    executor_threads_.emplace_back([this] { executor_loop(); });
   if (config_.watchdog_interval_ms > 0)
     watchdog_thread_ = std::thread([this] { watchdog_loop(); });
 }
@@ -358,6 +412,17 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
   flight->key = flight->fp.hex();
   const auto now = Clock::now();
 
+  // Poison quarantine: this fingerprint has already killed its quota of
+  // workers — answer instantly instead of queueing another crash-loop lap.
+  // (A quarantined body never completed, so it cannot be in either cache.)
+  if (pool_ && pool_->poisoned(flight->fp)) {
+    count("serve.worker.poison_rejects");
+    conn->send(make_error(request_id, ErrorCode::PoisonedRequest,
+                          "request fingerprint " + flight->key +
+                              " is quarantined after repeated worker kills"));
+    return;
+  }
+
   // Decide the fate of the request under the lock; send the reply (which may
   // block on a slow socket) after releasing it.
   std::optional<Frame> reply;
@@ -482,13 +547,18 @@ void Server::executor_loop() {
         flight.reset();
         continue;
       }
-      current_ = flight;
+      ++running_flights_;
+      // current_ is the disconnect-cancellation target and only meaningful
+      // for the single in-process lane (one process Governor). Worker-mode
+      // orphans run to completion in their own process and warm the cache.
+      if (!pool_) current_ = flight;
     }
     execute(flight);
     progress_ticks_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard lock(state_mutex_);
-      current_.reset();
+      if (!pool_) current_.reset();
+      --running_flights_;
     }
     flight.reset();
   }
@@ -546,6 +616,19 @@ HealthStatus Server::snapshot_health() {
       metrics.counter("serve.requests").value.load());
   s.cache_hits = static_cast<std::uint64_t>(
       metrics.counter("serve.cache_hits").value.load());
+  if (pool_) {
+    const WorkerPool::PoolHealth ph = pool_->health();
+    s.workers = ph.workers;
+    s.workers_alive = ph.alive;
+    s.workers_respawning = ph.respawning;
+    s.worker_crashes_signal = ph.crashes_signal;
+    s.worker_crashes_oom = ph.crashes_oom;
+    s.worker_crashes_rlimit = ph.crashes_rlimit;
+    s.worker_crash_retries = ph.crash_retries;
+    s.worker_respawns = ph.respawns;
+    s.quarantined = ph.quarantined;
+    s.worker_pids = ph.pids;
+  }
   return s;
 }
 
@@ -565,43 +648,83 @@ govern::RunBudget Server::effective_budget(
 
 void Server::execute(const FlightPtr& flight) {
   const auto started = Clock::now();
-  auto& gov = govern::Governor::instance();
-  gov.configure(effective_budget(flight->request.budget));
-
-  core::AnalysisReport report;
   ErrorCode failure = ErrorCode::None;
   std::string failure_detail;
-  try {
-    runtime::ScopedTimer timer("serve.execute");
-    report = core::analyze(flight->request.layout, flight->request.options);
-  } catch (const govern::CancelledError& e) {
-    if (e.kind() == govern::BudgetKind::External) {
-      // Disconnect- or shutdown-triggered cancellation. With no waiters
-      // there is nobody to answer; during a drain the remaining waiters get
-      // a structured ShuttingDown.
-      failure = ErrorCode::ShuttingDown;
-      count("serve.cancelled_runs");
-    } else {
-      failure = ErrorCode::DeadlineExceeded;
-      count("serve.deadline_trips");
-    }
-    failure_detail = e.what();
-  } catch (const std::invalid_argument& e) {
-    failure = ErrorCode::BadRequest;
-    failure_detail = e.what();
-    count("serve.bad_requests");
-  } catch (const std::exception& e) {
-    failure = ErrorCode::Internal;
-    failure_detail = e.what();
-    count("serve.internal_errors");
-  }
-
   std::vector<std::uint8_t> result_bytes;
-  if (failure == ErrorCode::None) {
-    result_bytes =
-        encode_result(report, flight->request.include_waveforms);
-    count("serve.computed");
-    if (!report.degradations.empty()) count("serve.degraded_responses");
+  double build_seconds = 0.0, solve_seconds = 0.0;
+
+  if (pool_) {
+    // Worker lane: the flight runs in a sandboxed process; crashes come back
+    // as classified outcomes (retried once on a sibling, quarantined past
+    // the poison threshold), never as a server death.
+    runtime::ScopedTimer timer("serve.execute");
+    WorkerPool::Outcome outcome = pool_->run(
+        flight->fp, flight->request, effective_budget(flight->request.budget));
+    if (outcome.ok) {
+      result_bytes = std::move(outcome.result_bytes);
+      build_seconds = outcome.build_seconds;
+      solve_seconds = outcome.solve_seconds;
+      count("serve.computed");
+      try {
+        core::AnalysisReport report;
+        decode_result(result_bytes, report);
+        if (!report.degradations.empty()) count("serve.degraded_responses");
+      } catch (const std::exception&) {
+        // Counter parity only; the verbatim result bytes still serve.
+      }
+    } else {
+      failure = outcome.code;
+      failure_detail = outcome.detail;
+      switch (outcome.code) {
+        case ErrorCode::DeadlineExceeded: count("serve.deadline_trips"); break;
+        case ErrorCode::BadRequest: count("serve.bad_requests"); break;
+        case ErrorCode::ShuttingDown: count("serve.cancelled_runs"); break;
+        case ErrorCode::PoisonedRequest:
+          count("serve.worker.poisoned_replies");
+          break;
+        case ErrorCode::WorkerCrashed:
+          count("serve.worker.crashed_replies");
+          break;
+        default: count("serve.internal_errors"); break;
+      }
+    }
+  } else {
+    auto& gov = govern::Governor::instance();
+    gov.configure(effective_budget(flight->request.budget));
+
+    core::AnalysisReport report;
+    try {
+      runtime::ScopedTimer timer("serve.execute");
+      report = core::analyze(flight->request.layout, flight->request.options);
+    } catch (const govern::CancelledError& e) {
+      if (e.kind() == govern::BudgetKind::External) {
+        // Disconnect- or shutdown-triggered cancellation. With no waiters
+        // there is nobody to answer; during a drain the remaining waiters get
+        // a structured ShuttingDown.
+        failure = ErrorCode::ShuttingDown;
+        count("serve.cancelled_runs");
+      } else {
+        failure = ErrorCode::DeadlineExceeded;
+        count("serve.deadline_trips");
+      }
+      failure_detail = e.what();
+    } catch (const std::invalid_argument& e) {
+      failure = ErrorCode::BadRequest;
+      failure_detail = e.what();
+      count("serve.bad_requests");
+    } catch (const std::exception& e) {
+      failure = ErrorCode::Internal;
+      failure_detail = e.what();
+      count("serve.internal_errors");
+    }
+
+    if (failure == ErrorCode::None) {
+      result_bytes = encode_result(report, flight->request.include_waveforms);
+      build_seconds = report.build_seconds;
+      solve_seconds = report.solve_seconds;
+      count("serve.computed");
+      if (!report.degradations.empty()) count("serve.degraded_responses");
+    }
   }
 
   std::vector<InFlight::Waiter> waiters;
@@ -611,8 +734,7 @@ void Server::execute(const FlightPtr& flight) {
     waiters = std::move(flight->waiters);
     flight->waiters.clear();
     if (failure == ErrorCode::None)
-      cache_store(flight->fp, result_bytes, report.build_seconds,
-                  report.solve_seconds);
+      cache_store(flight->fp, result_bytes, build_seconds, solve_seconds);
   }
 
   for (const InFlight::Waiter& w : waiters) {
@@ -628,8 +750,7 @@ void Server::execute(const FlightPtr& flight) {
         w.request_id,
         w.initiator ? Response::ServedBy::Computed
                     : Response::ServedBy::Coalesced,
-        report.build_seconds, report.solve_seconds, std::max(queue_s, 0.0),
-        result_bytes);
+        build_seconds, solve_seconds, std::max(queue_s, 0.0), result_bytes);
     if (w.conn->send(f)) count("serve.responses");
   }
 }
@@ -748,7 +869,7 @@ void Server::shutdown() {
     bool idle;
     {
       std::lock_guard lock(state_mutex_);
-      idle = scheduler_.depth() == 0 && current_ == nullptr;
+      idle = scheduler_.depth() == 0 && running_flights_ == 0;
     }
     if (idle || Clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -771,6 +892,10 @@ void Server::shutdown() {
     if (current_ != nullptr)
       govern::Governor::instance().cancel(govern::BudgetKind::External);
   }
+  // Worker mode: stop the pool now so lanes blocked on a worker reply (or
+  // waiting for an idle worker) unblock — their flights answer ShuttingDown
+  // against the sockets shut down below.
+  if (pool_) pool_->stop();
   for (const InFlight::Waiter& w : shed)
     w.conn->send(make_error(w.request_id, ErrorCode::ShuttingDown,
                             "server shut down before this request ran"));
@@ -790,10 +915,12 @@ void Server::shutdown() {
     }
   }
 
-  // 6. The queue is empty and draining: pop() returns false and the
-  //    executor exits (after answering the cancelled in-flight request, if
-  //    any — those sends fail fast against the sockets shut down above).
-  if (executor_thread_.joinable()) executor_thread_.join();
+  // 6. The queue is empty and draining: pop() returns false and every
+  //    executor lane exits (after answering the cancelled in-flight request,
+  //    if any — those sends fail fast against the sockets shut down above).
+  for (std::thread& lane : executor_threads_)
+    if (lane.joinable()) lane.join();
+  executor_threads_.clear();
 
   // 7. Join the readers: the ones still in the map unblock on their dead
   //    sockets, the already-finished ones were queued for reaping. Each

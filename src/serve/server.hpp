@@ -16,15 +16,25 @@
 //                        ▼
 //                  respond to every waiter; store result in the cache
 //
-// Analyses execute one at a time, in the scheduler's fair order: the
-// parallelism of a single core::analyze already saturates the pool
-// (parallel_for fans each kernel out across every worker), and the
-// process-wide Governor/metrics machinery assumes one governed run at a
-// time. Concurrency at the request level comes from pipelined I/O, from
-// in-flight dedup (N identical requests cost one computation) and from the
-// response cache (repeat requests never reach the executor). Because every
-// kernel is bitwise-deterministic at any IND_THREADS, the RESULT block for a
-// given request body is byte-identical no matter how it was served.
+// In-process mode (IND_SERVE_WORKERS=0) analyses execute one at a time, in
+// the scheduler's fair order: the parallelism of a single core::analyze
+// already saturates the pool (parallel_for fans each kernel out across every
+// worker), and the process-wide Governor/metrics machinery assumes one
+// governed run at a time. Concurrency at the request level comes from
+// pipelined I/O, from in-flight dedup (N identical requests cost one
+// computation) and from the response cache (repeat requests never reach the
+// executor). Because every kernel is bitwise-deterministic at any
+// IND_THREADS, the RESULT block for a given request body is byte-identical
+// no matter how it was served.
+//
+// Worker mode (IND_SERVE_WORKERS=N > 0): N executor lanes each dispatch
+// flights to their own sandboxed ind_worker process through a WorkerPool
+// (serve/worker_pool.hpp) — a crash, OOM kill or rlimit trip inside any
+// kernel costs one worker process and one classified retry, never the
+// server. Each worker process has its own Governor, so N analyses run
+// concurrently without sharing budget state; results stay bitwise-identical
+// to the in-process path because the same deterministic kernels run on the
+// same dispatched request bytes.
 //
 // Per-request governance: the request's RunBudget is clamped field-wise by
 // the server caps (IND_SERVE_DEADLINE_MS / IND_SERVE_MEM_BYTES /
@@ -79,6 +89,7 @@
 #include "serve/health.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/worker_pool.hpp"
 
 namespace ind::serve {
 
@@ -113,6 +124,24 @@ struct ServerConfig {
   /// Fail-stop on a watchdog trip (std::abort) so an orchestrator restarts
   /// the process instead of letting it limp along shedding forever.
   bool watchdog_abort = false;             ///< IND_SERVE_WATCHDOG_ABORT
+
+  /// Process isolation (serve/worker_pool.hpp). 0 keeps the single
+  /// in-process executor; N > 0 fork/execs N sandboxed ind_worker processes
+  /// and runs N executor lanes, one flight per worker at a time.
+  std::size_t workers = 0;                   ///< IND_SERVE_WORKERS
+  /// Worker binary; empty = "<server executable's dir>/ind_worker".
+  std::string worker_bin;                    ///< IND_SERVE_WORKER_BIN
+  /// Worker kills by one request fingerprint before it is quarantined.
+  int poison_threshold = 2;                  ///< IND_SERVE_POISON_THRESHOLD
+  /// Initial worker respawn backoff (doubles per consecutive death).
+  std::uint64_t worker_respawn_ms = 50;      ///< IND_SERVE_RESPAWN_MS
+  /// RLIMIT_AS slack above the effective mem budget (worker baseline).
+  std::uint64_t worker_as_slack_bytes = 512ull << 20;  ///< IND_SERVE_WORKER_AS_SLACK_MB
+  /// RLIMIT_CPU slack above the deadline-derived seconds.
+  std::uint64_t worker_cpu_slack_s = 5;      ///< IND_SERVE_WORKER_CPU_SLACK_S
+  /// Signal the worker_exec fault site kills dispatched workers with
+  /// (SIGSEGV; IND_SERVE_FAULT_SIGNAL=segv|kill|xcpu|abrt).
+  int worker_fault_signal = 11;              ///< IND_SERVE_FAULT_SIGNAL
 
   /// Test hook: runs on the executor thread after a flight is popped and
   /// *before* waiters are checked or the analysis starts. Lets tests hold
@@ -198,7 +227,16 @@ class Server {
 
   std::mutex state_mutex_;
   std::unordered_map<std::string, FlightPtr> inflight_;  ///< key: digest hex
-  FlightPtr current_;  ///< flight the executor is running (or nullptr)
+  /// In-process mode only: the flight the single executor lane is running
+  /// (disconnect cancellation targets it through the process Governor).
+  /// Worker-mode lanes leave it null — each worker has its own Governor, so
+  /// an orphaned flight runs to completion and warms the cache instead.
+  FlightPtr current_;
+  /// Flights currently executing across all lanes (shutdown's idle check).
+  std::size_t running_flights_ = 0;  ///< guarded by state_mutex_
+
+  /// Process-isolated worker lanes (IND_SERVE_WORKERS > 0), else null.
+  std::unique_ptr<WorkerPool> pool_;
 
   struct CacheEntry {
     store::Digest fp;
@@ -225,7 +263,9 @@ class Server {
   std::thread watchdog_thread_;
 
   std::thread accept_thread_;
-  std::thread executor_thread_;
+  /// One lane in-process; IND_SERVE_WORKERS lanes in worker mode (each lane
+  /// blocks on its own worker process, so N lanes = N concurrent analyses).
+  std::vector<std::thread> executor_threads_;
   /// Reader threads keyed by connection id. A reader that finishes moves its
   /// connection out of conns_ and queues its id on finished_readers_; the
   /// accept loop joins those handles, so a long-running daemon serving many

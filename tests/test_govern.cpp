@@ -7,12 +7,15 @@
 #include <cstdlib>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "circuit/transient.hpp"
 #include "core/analyzer.hpp"
 #include "geom/topologies.hpp"
 #include "govern/budget.hpp"
 #include "govern/env.hpp"
 #include "govern/memory.hpp"
+#include "govern/rlimit.hpp"
 #include "robust/fault_injection.hpp"
 #include "robust/validate.hpp"
 #include "runtime/metrics.hpp"
@@ -476,6 +479,63 @@ TEST(GovernValidate, AnalyzeRejectsDegenerateLayouts) {
   EXPECT_TRUE(saw_empty);
   EXPECT_TRUE(saw_drivers);
   EXPECT_TRUE(saw_receivers);
+}
+
+// ---------------------------------------------------------------------------
+// Budget -> worker rlimit mapping (the serve sandbox derives OS backstops
+// from the effective RunBudget; see govern/rlimit.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(GovernRlimit, MapsEffectiveBudgetToWorkerLimits) {
+  govern::RunBudget budget;
+  budget.mem_bytes = 100ull << 20;
+  budget.deadline_ms = 2500;  // rounds up to 3 whole CPU seconds
+
+  const govern::WorkerRlimits limits =
+      govern::worker_rlimits(budget, 64ull << 20, 4);
+  EXPECT_EQ(limits.as_bytes, (100ull << 20) + (64ull << 20));
+  EXPECT_EQ(limits.cpu_seconds, 3u + 4u);
+  EXPECT_TRUE(limits.any());
+}
+
+TEST(GovernRlimit, UnlimitedBudgetLeavesLimitsAlone) {
+  const govern::WorkerRlimits limits = govern::worker_rlimits({}, 512, 5);
+  EXPECT_EQ(limits.as_bytes, 0u);
+  EXPECT_EQ(limits.cpu_seconds, 0u);
+  EXPECT_FALSE(limits.any());
+
+  // Partial budgets only arm the matching backstop.
+  govern::RunBudget mem_only;
+  mem_only.mem_bytes = 1ull << 20;
+  EXPECT_EQ(govern::worker_rlimits(mem_only, 0, 9).cpu_seconds, 0u);
+  EXPECT_EQ(govern::worker_rlimits(mem_only, 0, 9).as_bytes, 1ull << 20);
+
+  govern::RunBudget cpu_only;
+  cpu_only.deadline_ms = 999;
+  EXPECT_EQ(govern::worker_rlimits(cpu_only, 7, 0).as_bytes, 0u);
+  EXPECT_EQ(govern::worker_rlimits(cpu_only, 7, 0).cpu_seconds, 1u);
+}
+
+TEST(GovernRlimit, ApplyAndRelaxSoftLimitsRoundTrip) {
+  // Lower RLIMIT_AS generously (8 GiB — far above anything the test
+  // allocates), confirm the soft limit moved, then relax back.
+  rlimit before{};
+  ASSERT_EQ(getrlimit(RLIMIT_AS, &before), 0);
+
+  govern::WorkerRlimits limits;
+  limits.as_bytes = 8ull << 30;
+  EXPECT_TRUE(govern::apply_worker_rlimits(limits));
+  rlimit lowered{};
+  ASSERT_EQ(getrlimit(RLIMIT_AS, &lowered), 0);
+  if (before.rlim_max == RLIM_INFINITY || before.rlim_max > (8ull << 30))
+    EXPECT_EQ(lowered.rlim_cur, static_cast<rlim_t>(8ull << 30));
+
+  govern::relax_worker_rlimits();
+  rlimit relaxed{};
+  ASSERT_EQ(getrlimit(RLIMIT_AS, &relaxed), 0);
+  EXPECT_EQ(relaxed.rlim_cur, before.rlim_max == RLIM_INFINITY
+                                  ? RLIM_INFINITY
+                                  : before.rlim_max);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -237,6 +238,16 @@ TEST_F(ResilienceTest, HealthFrameRoundTrips) {
   in.watchdog_trips = 2;
   in.degraded = true;
   in.draining = true;
+  in.workers = 4;
+  in.workers_alive = 3;
+  in.workers_respawning = 1;
+  in.worker_crashes_signal = 5;
+  in.worker_crashes_oom = 6;
+  in.worker_crashes_rlimit = 7;
+  in.worker_crash_retries = 8;
+  in.worker_respawns = 9;
+  in.quarantined = 10;
+  in.worker_pids = {101, 202, 303};
 
   const serve::Frame f = serve::make_health(in);
   EXPECT_EQ(f.type, serve::FrameType::Health);
@@ -251,6 +262,16 @@ TEST_F(ResilienceTest, HealthFrameRoundTrips) {
   EXPECT_EQ(out.watchdog_trips, 2u);
   EXPECT_TRUE(out.degraded);
   EXPECT_TRUE(out.draining);
+  EXPECT_EQ(out.workers, 4u);
+  EXPECT_EQ(out.workers_alive, 3u);
+  EXPECT_EQ(out.workers_respawning, 1u);
+  EXPECT_EQ(out.worker_crashes_signal, 5u);
+  EXPECT_EQ(out.worker_crashes_oom, 6u);
+  EXPECT_EQ(out.worker_crashes_rlimit, 7u);
+  EXPECT_EQ(out.worker_crash_retries, 8u);
+  EXPECT_EQ(out.worker_respawns, 9u);
+  EXPECT_EQ(out.quarantined, 10u);
+  EXPECT_EQ(out.worker_pids, (std::vector<std::uint64_t>{101, 202, 303}));
 
   EXPECT_EQ(serve::make_health_request().type, serve::FrameType::HealthRequest);
   EXPECT_THROW(serve::decode_health({0x01, 0x02}), store::StoreError);
@@ -275,6 +296,37 @@ TEST_F(ResilienceTest, HealthEndpointReportsServerState) {
   EXPECT_GT(after.requests, before.requests);
   EXPECT_GE(after.cache_entries, 1u);
   EXPECT_EQ(after.watchdog_trips, 0u);
+  server.shutdown();
+}
+
+TEST_F(ResilienceTest, HealthReportsWorkerPoolStateAndIdleKillRespawns) {
+  serve::ServerConfig config;
+  config.workers = 2;
+  config.worker_bin = IND_WORKER_BIN_PATH;
+  serve::Server server(config);
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+
+  serve::HealthStatus h = client.health();
+  EXPECT_EQ(h.workers, 2u);
+  EXPECT_EQ(h.workers_alive, 2u);
+  EXPECT_EQ(h.workers_respawning, 0u);
+  ASSERT_EQ(h.worker_pids.size(), 2u);
+  const std::uint64_t respawns0 = h.worker_respawns;
+
+  // SIGKILL an *idle* worker (no flight anywhere near it): the monitor must
+  // reap the corpse and respawn the lane, and the pool must report full
+  // strength again — all observable through the health frame.
+  ASSERT_EQ(::kill(static_cast<pid_t>(h.worker_pids[0]), SIGKILL), 0);
+  ASSERT_TRUE(eventually([&] {
+    const serve::HealthStatus now = client.health();
+    return now.worker_respawns >= respawns0 + 1 && now.workers_alive == 2;
+  }));
+
+  // The respawned lane serves: a request still computes bitwise-normally.
+  const serve::Reply reply = client.analyze(7, grid_request(240.0));
+  ASSERT_TRUE(reply.ok) << serve::to_string(reply.error.code);
   server.shutdown();
 }
 

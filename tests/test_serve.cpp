@@ -18,12 +18,15 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "core/analyzer.hpp"
 #include "geom/topologies.hpp"
 #include "govern/budget.hpp"
+#include "govern/rlimit.hpp"
+#include "robust/diagnostics.hpp"
 #include "robust/fault_injection.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
@@ -728,6 +731,147 @@ TEST_F(ServeTest, ResultBytesIdenticalAcrossThreadCounts) {
 
   ASSERT_FALSE(result_at_1.empty());
   EXPECT_EQ(result_at_1, result_at_2);
+}
+
+// ---------------------------------------------------------------------------
+// Process-isolated worker lanes (IND_SERVE_WORKERS > 0).
+// ---------------------------------------------------------------------------
+
+/// Worker-mode server config: N sandboxed lanes running the ind_worker
+/// binary the build just produced (path baked in by tests/CMakeLists.txt).
+serve::ServerConfig worker_config(std::size_t workers) {
+  serve::ServerConfig config;
+  config.workers = workers;
+  config.worker_bin = IND_WORKER_BIN_PATH;
+  return config;
+}
+
+std::vector<std::uint8_t> analyze_result_bytes(serve::Server& server,
+                                               const serve::Request& req) {
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+  const serve::Reply reply = client.analyze(1, req);
+  EXPECT_TRUE(reply.ok) << serve::to_string(reply.error.code) << ": "
+                        << reply.error.detail;
+  if (!reply.ok) return {};
+  EXPECT_EQ(reply.response.served_by, serve::Response::ServedBy::Computed);
+  return reply.response.result_bytes;
+}
+
+TEST(WorkerExitClassification, MapsWaitStatusToCrashKind) {
+  // glibc wstatus encoding: exited = code << 8, signaled = signo in the low
+  // seven bits.
+  using robust::CrashKind;
+  EXPECT_EQ(serve::classify_worker_exit(0), CrashKind::ExitError);
+  EXPECT_EQ(serve::classify_worker_exit(1 << 8), CrashKind::ExitError);
+  EXPECT_EQ(serve::classify_worker_exit(govern::kWorkerOomExitCode << 8),
+            CrashKind::RlimitMem);
+  EXPECT_EQ(serve::classify_worker_exit(SIGSEGV), CrashKind::Signal);
+  EXPECT_EQ(serve::classify_worker_exit(SIGABRT), CrashKind::Signal);
+  EXPECT_EQ(serve::classify_worker_exit(SIGKILL), CrashKind::OomKill);
+  EXPECT_EQ(serve::classify_worker_exit(SIGXCPU), CrashKind::RlimitCpu);
+  EXPECT_STREQ(robust::to_string(CrashKind::RlimitMem), "rlimit_mem");
+  EXPECT_STREQ(robust::to_string(CrashKind::Signal), "signal");
+}
+
+TEST_F(ServeTest, WorkerModeResultsBitwiseIdenticalToInProcess) {
+  const serve::Request req = grid_request();
+  std::vector<std::uint8_t> inproc, worker;
+  {
+    serve::Server server(serve::ServerConfig{});
+    server.start();
+    inproc = analyze_result_bytes(server, req);
+    server.shutdown();
+  }
+  {
+    serve::Server server(worker_config(2));
+    server.start();
+    worker = analyze_result_bytes(server, req);
+    server.shutdown();
+  }
+  ASSERT_FALSE(inproc.empty());
+  // The serde round-trip oracle: the worker ran the same deterministic
+  // kernels from the same dispatched bytes, so the RESULT block must be
+  // bitwise identical to the in-process path.
+  EXPECT_EQ(worker, inproc);
+}
+
+TEST_F(ServeTest, WorkerCrashMidFlightRetriesOnSiblingBitwise) {
+  const serve::Request req = grid_request();
+  std::vector<std::uint8_t> inproc;
+  {
+    serve::Server server(serve::ServerConfig{});
+    server.start();
+    inproc = analyze_result_bytes(server, req);
+    server.shutdown();
+  }
+
+  const std::int64_t crashes0 = counter("serve.worker.crashes.signal");
+  const std::int64_t retries0 = counter("serve.worker.retries");
+  // Kill exactly the first dispatched worker (SIGSEGV mid-flight); the
+  // supervisor must retry the flight on a sibling and the tenant must see
+  // the same bytes an undisturbed run produces.
+  fault::configure("worker_exec@0");
+  serve::Server server(worker_config(2));
+  server.start();
+  const std::vector<std::uint8_t> retried = analyze_result_bytes(server, req);
+  EXPECT_EQ(retried, inproc);
+  EXPECT_EQ(counter("serve.worker.crashes.signal"), crashes0 + 1);
+  EXPECT_EQ(counter("serve.worker.retries"), retries0 + 1);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, PoisonedRequestQuarantinedAfterThresholdKills) {
+  const std::int64_t quarantined0 = counter("serve.worker.quarantined");
+  const std::int64_t rejects0 = counter("serve.worker.poison_rejects");
+
+  // Every delivered dispatch dies: the poison threshold (2 kills) trips on
+  // the first flight's retry and quarantines the fingerprint.
+  fault::configure("worker_exec@*");
+  serve::Server server(worker_config(2));
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+
+  const serve::Request poison = grid_request(220.0);
+  const serve::Reply first = client.analyze(1, poison);
+  ASSERT_FALSE(first.ok);
+  EXPECT_EQ(first.error.code, serve::ErrorCode::PoisonedRequest);
+  EXPECT_EQ(counter("serve.worker.quarantined"), quarantined0 + 1);
+
+  // Same bytes again: rejected at admission, no worker ever sees them.
+  const serve::Reply again = client.analyze(2, poison);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.error.code, serve::ErrorCode::PoisonedRequest);
+  EXPECT_EQ(counter("serve.worker.poison_rejects"), rejects0 + 1);
+
+  // The quarantine is per-fingerprint: with the fault lifted, a different
+  // tenant asking for a different body is served normally — two dead
+  // workers did not take the server down.
+  fault::clear();
+  serve::Client other;
+  other.connect_tcp("127.0.0.1", server.port());
+  const serve::Reply healthy = other.analyze(3, grid_request(300.0));
+  ASSERT_TRUE(healthy.ok) << serve::to_string(healthy.error.code);
+  EXPECT_EQ(healthy.response.served_by, serve::Response::ServedBy::Computed);
+  server.shutdown();
+}
+
+TEST_F(ServeTest, WorkerModeCoalescingAndCacheStillWork) {
+  serve::Server server(worker_config(2));
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+  const serve::Request req = grid_request(260.0);
+
+  const serve::Reply first = client.analyze(1, req);
+  ASSERT_TRUE(first.ok);
+  ASSERT_EQ(first.response.served_by, serve::Response::ServedBy::Computed);
+  const serve::Reply second = client.analyze(2, req);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.response.served_by, serve::Response::ServedBy::Cache);
+  EXPECT_EQ(second.response.result_bytes, first.response.result_bytes);
+  server.shutdown();
 }
 
 }  // namespace

@@ -6,7 +6,8 @@
 //               [--retries N] [--backoff-ms MS] [--deadline-ms MS]
 //               [--recv-timeout-ms MS] [--hedge-ms MS]
 //               [--chaos] [--kill-pid PID --kill-after-ms MS]
-//               [--out BENCH_serve.json]
+//               [--kill-worker segv|kill|xcpu|abrt [--kill-every-ms MS]]
+//               [--expect-poisoned] [--out BENCH_serve.json]
 //
 // Replays a mixed layout workload: D distinct request bodies (small
 // driver-receiver-grid layouts of varying extent, analysis knobs from
@@ -84,7 +85,33 @@ struct Args {
   bool chaos = false;
   long kill_pid = 0;
   std::uint64_t kill_after_ms = 0;
+
+  /// Worker-lane chaos (--kill-worker SIG): while the load window is open, a
+  /// helper thread probes the server's health frame for live worker pids and
+  /// signals one victim (round-robin) every --kill-every-ms. Exercises the
+  /// supervisor's crash containment against a server that must keep serving.
+  int kill_worker_sig = 0;
+  std::uint64_t kill_every_ms = 250;
+  /// Gate for the poison-quarantine CI scenario: succeed iff the run saw
+  /// PoisonedRequest answers and no wrong/unresolved outcomes (ok may be 0 —
+  /// every body can be poisoned when worker_exec@* kills all dispatches).
+  bool expect_poisoned = false;
 };
+
+int parse_signal_name(const char* name) {
+  const std::string s = name;
+  if (s == "segv") return SIGSEGV;
+  if (s == "kill") return SIGKILL;
+  if (s == "xcpu") return SIGXCPU;
+  if (s == "abrt") return SIGABRT;
+  const int n = std::atoi(name);
+  if (n <= 0) {
+    std::fprintf(stderr,
+                 "ind_loadgen: --kill-worker wants segv|kill|xcpu|abrt|NUM\n");
+    std::exit(2);
+  }
+  return n;
+}
 
 /// Workload: D distinct small Figure-1 testbenches. The grid extent varies
 /// per index so the request bodies — and therefore their fingerprints — are
@@ -137,6 +164,7 @@ struct ClientStats {
   std::uint64_t connlost = 0;    ///< terminal connection-lost
   std::uint64_t unresolved = 0;  ///< no terminal outcome (must stay 0)
   std::uint64_t wrong = 0;       ///< RESULT digest diverged from the oracle
+  std::uint64_t poisoned = 0;    ///< terminal PoisonedRequest answers
   std::uint64_t retries = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t hedges = 0;
@@ -347,8 +375,13 @@ void run_client(const Args& args, int client_index,
                             bodies.size(),
                         reply.response.result_bytes))
         ++stats.wrong;
-    } else if (reply.busy && p.attempts <= args.retries) {
-      // Shed under load: schedule a retry instead of counting a failure.
+    } else if ((reply.busy ||
+                reply.error.code == ind::serve::ErrorCode::WorkerCrashed) &&
+               p.attempts <= args.retries) {
+      // Shed under load — or both workers that ran this flight were killed
+      // (a kill-worker sweep can hit the same flight twice): schedule a
+      // retry instead of counting a failure. A fresh flight lands on
+      // respawned workers.
       --outstanding;
       p.in_flight = false;
       ++stats.retries;
@@ -360,6 +393,8 @@ void run_client(const Args& args, int client_index,
       --outstanding;
       resolve(idx);
       if (reply.busy) ++stats.busy;
+      else if (reply.error.code == ind::serve::ErrorCode::PoisonedRequest)
+        ++stats.poisoned;
       else ++stats.errors;
     }
   }
@@ -420,6 +455,9 @@ void run_client_chaos(const Args& args, int client_index,
         case ind::serve::ErrorCode::ConnectionLost:
           ++stats.connlost;
           break;
+        case ind::serve::ErrorCode::PoisonedRequest:
+          ++stats.poisoned;
+          break;
         default:
           ++stats.errors;
           break;
@@ -468,6 +506,9 @@ int main(int argc, char** argv) {
     else if (arg == "--chaos") args.chaos = true;
     else if (arg == "--kill-pid") args.kill_pid = std::atol(next());
     else if (arg == "--kill-after-ms") args.kill_after_ms = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--kill-worker") args.kill_worker_sig = parse_signal_name(next());
+    else if (arg == "--kill-every-ms") args.kill_every_ms = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--expect-poisoned") args.expect_poisoned = true;
     else {
       std::fprintf(stderr,
                    "usage: ind_loadgen --port N [--host ADDR | --uds PATH] "
@@ -475,7 +516,8 @@ int main(int argc, char** argv) {
                    "[--distinct D] [--spec S] [--retries N] [--backoff-ms MS] "
                    "[--deadline-ms MS] [--recv-timeout-ms MS] [--hedge-ms MS] "
                    "[--chaos] [--kill-pid PID --kill-after-ms MS] "
-                   "[--out FILE]\n");
+                   "[--kill-worker segv|kill|xcpu|abrt [--kill-every-ms MS]] "
+                   "[--expect-poisoned] [--out FILE]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -509,6 +551,40 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Worker-lane chaos: probe the health frame for live worker pids and
+  // signal one victim per tick until the load window closes. Pid selection
+  // goes through the server's own health report (not /proc), so the sweep
+  // only ever kills processes the supervisor is advertising as its workers.
+  std::atomic<bool> load_done{false};
+  std::atomic<std::uint64_t> kills_sent{0};
+  std::thread worker_killer;
+  if (args.kill_worker_sig > 0) {
+    worker_killer = std::thread([&args, &load_done, &kills_sent] {
+      std::size_t round_robin = 0;
+      while (!load_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(args.kill_every_ms));
+        if (load_done.load(std::memory_order_relaxed)) break;
+        try {
+          ind::serve::Client probe;
+          if (!args.uds.empty())
+            probe.connect_uds(args.uds);
+          else
+            probe.connect_tcp(args.host, args.port);
+          const ind::serve::HealthStatus h = probe.health();
+          if (h.worker_pids.empty()) continue;
+          const auto victim = static_cast<pid_t>(
+              h.worker_pids[round_robin++ % h.worker_pids.size()]);
+          if (::kill(victim, args.kill_worker_sig) == 0)
+            kills_sent.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          // Probe raced a respawn window or the server is draining — the
+          // next tick tries again. Never fail the run from the killer.
+        }
+      }
+    });
+  }
+
   std::vector<ClientStats> stats(static_cast<std::size_t>(args.clients));
   std::vector<std::thread> threads;
   const auto started = Clock::now();
@@ -524,7 +600,28 @@ int main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - started).count();
+  load_done.store(true, std::memory_order_relaxed);
   if (killer.joinable()) killer.join();
+  if (worker_killer.joinable()) worker_killer.join();
+
+  // Final pool snapshot for the report (and for CI asserts on crash counts).
+  // The worker section is emitted whenever the server reports worker lanes,
+  // so the perf guard's IPC-overhead gate can confirm which mode it measured.
+  ind::serve::HealthStatus pool_health;
+  bool have_pool_health = false;
+  try {
+    ind::serve::Client probe;
+    if (!args.uds.empty())
+      probe.connect_uds(args.uds);
+    else
+      probe.connect_tcp(args.host, args.port);
+    pool_health = probe.health();
+    have_pool_health = pool_health.workers > 0 || args.kill_worker_sig > 0 ||
+                       args.expect_poisoned;
+  } catch (const std::exception& e) {
+    if (args.kill_worker_sig > 0 || args.expect_poisoned)
+      std::fprintf(stderr, "ind_loadgen: final health probe: %s\n", e.what());
+  }
 
   ClientStats total;
   for (const ClientStats& s : stats) {
@@ -539,6 +636,7 @@ int main(int argc, char** argv) {
     total.connlost += s.connlost;
     total.unresolved += s.unresolved;
     total.wrong += s.wrong;
+    total.poisoned += s.poisoned;
     total.retries += s.retries;
     total.reconnects += s.reconnects;
     total.hedges += s.hedges;
@@ -579,12 +677,21 @@ int main(int argc, char** argv) {
        << "    \"connection_lost\": " << total.connlost << ",\n"
        << "    \"unresolved\": " << total.unresolved << ",\n"
        << "    \"wrong_results\": " << total.wrong << ",\n"
+       << "    \"poisoned\": " << total.poisoned << ",\n"
        << "    \"retries\": " << total.retries << ",\n"
        << "    \"reconnects\": " << total.reconnects << ",\n"
        << "    \"hedges\": " << total.hedges << ",\n"
        << "    \"attempts_hist\": [";
   for (std::size_t k = 1; k < kAttemptsHistSlots; ++k)
     json << (k > 1 ? ", " : "") << total.attempts_hist[k];
+  json << "],\n";
+  // Per-body RESULT digests from the oracle (empty string for a body that
+  // never resolved ok). Bodies are deterministic by index, so two runs —
+  // e.g. IND_SERVE_WORKERS=0 vs =4 — must agree digest-for-digest.
+  json << "    \"digests\": [";
+  for (std::size_t b = 0; b < oracle.have.size(); ++b)
+    json << (b > 0 ? ", " : "") << '"'
+         << (oracle.have[b] ? oracle.expected[b].hex() : std::string()) << '"';
   json << "],\n";
   json.setf(std::ios::fixed);
   json.precision(4);
@@ -596,8 +703,26 @@ int main(int argc, char** argv) {
   json << "    \"throughput_rps\": " << throughput << ",\n";
   json.precision(3);
   json << "    \"wall_s\": " << wall_s << "\n"
-       << "  }\n"
-       << "}\n";
+       << "  }";
+  if (have_pool_health) {
+    json << ",\n"
+         << "  \"worker\": {\n"
+         << "    \"kills_sent\": " << kills_sent.load() << ",\n"
+         << "    \"workers\": " << pool_health.workers << ",\n"
+         << "    \"alive\": " << pool_health.workers_alive << ",\n"
+         << "    \"respawning\": " << pool_health.workers_respawning << ",\n"
+         << "    \"crashes_signal\": " << pool_health.worker_crashes_signal
+         << ",\n"
+         << "    \"crashes_oom\": " << pool_health.worker_crashes_oom << ",\n"
+         << "    \"crashes_rlimit\": " << pool_health.worker_crashes_rlimit
+         << ",\n"
+         << "    \"crash_retries\": " << pool_health.worker_crash_retries
+         << ",\n"
+         << "    \"respawns\": " << pool_health.worker_respawns << ",\n"
+         << "    \"quarantined\": " << pool_health.quarantined << "\n"
+         << "  }";
+  }
+  json << "\n}\n";
 
   const std::string text = json.str();
   std::ofstream out(args.out);
@@ -605,13 +730,20 @@ int main(int argc, char** argv) {
   out.close();
   std::printf("%s", text.c_str());
 
+  if (args.expect_poisoned)
+    // Poison gate: the run must have seen structured PoisonedRequest answers
+    // and nothing wrong or hung. ok can legitimately be 0 — with
+    // worker_exec@* every distinct body ends up quarantined.
+    return total.poisoned > 0 && total.wrong == 0 && total.unresolved == 0
+               ? 0
+               : 1;
   if (args.chaos)
     // Chaos gate: no hangs (everything resolved), no wrong answers. A
     // terminal Busy/ConnectionLost against a killed server is a legal
     // outcome; returning the wrong bytes never is.
     return total.ok > 0 && total.wrong == 0 && total.unresolved == 0 ? 0 : 1;
   return total.errors == 0 && total.connlost == 0 && total.wrong == 0 &&
-                 total.unresolved == 0 && total.ok > 0
+                 total.poisoned == 0 && total.unresolved == 0 && total.ok > 0
              ? 0
              : 1;
 }

@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A peer that disconnects mid-send must surface as EPIPE on the write,
+  // never kill the daemon. Server::start() repeats this, but the daemon sets
+  // it first so even the listen/bind window is covered.
+  std::signal(SIGPIPE, SIG_IGN);
+
   // Block the shutdown signals before start() so every server thread
   // inherits the mask and only this thread's sigwait sees them.
   sigset_t set;

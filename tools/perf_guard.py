@@ -26,6 +26,13 @@ Usage:
         --manifest tools/perf_baselines.json --max-timer-ratio 2.0
     python3 tools/perf_guard.py BENCH_fft.json \
         --manifest tools/perf_baselines.json --learn
+    python3 tools/perf_guard.py BENCH_serve_worker.json \
+        --worker-inproc BENCH_serve_inproc.json \
+        --manifest tools/perf_baselines.json
+
+The last form gates process-isolation (IND_SERVE_WORKERS) IPC overhead:
+worker-mode p99 must stay within the manifest's "worker" budget of the same
+workload served in-process.
 """
 
 import argparse
@@ -103,6 +110,63 @@ def serve_gate(current_report, baseline_report, max_ratio):
         print(f"perf_guard: FAIL — serve p99 regressed "
               f"{(ratio - 1.0) * 100.0:.0f}% past the {max_ratio:.2f}x "
               f"budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+def worker_gate(current_report, inproc_report, manifest_path, max_ratio,
+                floor_ms):
+    """Gates the process-isolation (IND_SERVE_WORKERS) IPC overhead: the
+    worker-mode load-generator report must keep its cached/dedup p99 within
+    `max_ratio` of the same workload served in-process. The budget lives in
+    the manifest's "worker" entry (tools/perf_baselines.json) so it is
+    reviewed like every other baseline; the floor keeps millisecond-scale
+    p99s from tripping on scheduler jitter."""
+    cur = current_report.get("serve")
+    base = inproc_report.get("serve")
+    wrk = current_report.get("worker")
+    if cur is None or base is None:
+        print("perf_guard: FAIL — worker gate needs serve sections in both "
+              "reports", file=sys.stderr)
+        return 1
+    if wrk is None:
+        print("perf_guard: FAIL — current report has no worker section "
+              "(was the server really running with IND_SERVE_WORKERS>0?)",
+              file=sys.stderr)
+        return 1
+    if manifest_path:
+        try:
+            with open(manifest_path) as f:
+                entry = json.load(f).get("worker", {})
+            max_ratio = entry.get("max_p99_overhead_ratio", max_ratio)
+            floor_ms = entry.get("p99_floor_ms", floor_ms)
+        except FileNotFoundError:
+            pass
+    if cur.get("ok", 0) <= 0 or cur.get("wrong_results", 0) != 0 or \
+            cur.get("unresolved", 0) != 0:
+        print(f"perf_guard: FAIL — worker-mode run unhealthy "
+              f"(ok={cur.get('ok', 0)}, wrong={cur.get('wrong_results', 0)}, "
+              f"unresolved={cur.get('unresolved', 0)})", file=sys.stderr)
+        return 1
+    if cur.get("coalesced", 0) + cur.get("cache_hits", 0) <= 0:
+        print("perf_guard: FAIL — worker-mode run had zero dedup/cache hits; "
+              "the gated path is not being exercised", file=sys.stderr)
+        return 1
+    cur_p99 = cur.get("p99_ms", 0.0)
+    base_p99 = base.get("p99_ms", 0.0)
+    if base_p99 <= 0.0:
+        print("perf_guard: in-process report has no p99_ms; worker gate "
+              "skipped")
+        return 0
+    ratio = cur_p99 / base_p99
+    print(f"perf_guard: worker-mode p99 {cur_p99:.1f} ms vs in-process "
+          f"{base_p99:.1f} ms (IPC overhead ratio {ratio:.2f}, "
+          f"limit {max_ratio:.2f}, floor {floor_ms:.0f} ms); "
+          f"alive {wrk.get('alive', 0)}/{wrk.get('workers', 0)} workers")
+    if cur_p99 > floor_ms and ratio > max_ratio:
+        print(f"perf_guard: FAIL — process isolation costs "
+              f"{(ratio - 1.0) * 100.0:.0f}% on p99, past the "
+              f"{(max_ratio - 1.0) * 100.0:.0f}% budget", file=sys.stderr)
         return 1
     return 0
 
@@ -223,6 +287,29 @@ def main():
         "fraction of guarded solver time in an unbudgeted run (default 0.02)",
     )
     parser.add_argument(
+        "--worker-inproc",
+        default=None,
+        help="in-process BENCH_serve.json to gate worker-mode IPC overhead "
+        "against (the positional `current` must be the worker-mode report); "
+        "budget comes from the manifest's 'worker' entry when --manifest is "
+        "also given",
+    )
+    parser.add_argument(
+        "--max-worker-overhead",
+        type=float,
+        default=1.10,
+        help="fail when worker-mode p99 exceeds this multiple of the "
+        "in-process p99 (default 1.10; overridden by the manifest 'worker' "
+        "entry)",
+    )
+    parser.add_argument(
+        "--worker-floor-ms",
+        type=float,
+        default=20.0,
+        help="worker gate ignores p99s below this (default 20 ms; jitter "
+        "floor, overridden by the manifest 'worker' entry)",
+    )
+    parser.add_argument(
         "--max-serve-ratio",
         type=float,
         default=2.0,
@@ -246,6 +333,12 @@ def main():
     if args.manifest and manifest_gate(current_report, args.manifest,
                                        args.max_timer_ratio,
                                        args.timer_floor_ms):
+        return 1
+    if args.worker_inproc and worker_gate(current_report,
+                                          load_report(args.worker_inproc),
+                                          args.manifest,
+                                          args.max_worker_overhead,
+                                          args.worker_floor_ms):
         return 1
     if args.baseline is None:
         print("perf_guard: no baseline report given; aggregate gate skipped")
