@@ -658,8 +658,18 @@ void Server::execute(const FlightPtr& flight) {
     // as classified outcomes (retried once on a sibling, quarantined past
     // the poison threshold), never as a server death.
     runtime::ScopedTimer timer("serve.execute");
-    WorkerPool::Outcome outcome = pool_->run(
-        flight->fp, flight->request, effective_budget(flight->request.budget));
+    WorkerPool::Outcome outcome;
+    try {
+      outcome = pool_->run(flight->fp, flight->request,
+                           effective_budget(flight->request.budget));
+    } catch (const std::exception& e) {
+      // Defensive: nothing in run() should escape, but an exception here
+      // would fly out of executor_loop's std::thread and std::terminate the
+      // whole server — exactly what worker isolation exists to prevent.
+      outcome.ok = false;
+      outcome.code = ErrorCode::Internal;
+      outcome.detail = std::string("worker pool dispatch failed: ") + e.what();
+    }
     if (outcome.ok) {
       result_bytes = std::move(outcome.result_bytes);
       build_seconds = outcome.build_seconds;

@@ -1,5 +1,6 @@
 #include "serve/worker_pool.hpp"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
@@ -100,8 +101,17 @@ bool WorkerPool::spawn_locked(Worker& w) {
     return false;
   }
   if (pid == 0) {
-    // Child: job pipe on fd 3, everything else closed, then exec.
-    if (::dup2(sv[1], 3) < 0) ::_exit(126);
+    // Child: job pipe on fd 3, everything else closed, then exec. When the
+    // socketpair already landed on fd 3 (possible if stdio fds were closed
+    // before the pool started), dup2 is a no-op that leaves SOCK_CLOEXEC
+    // set and exec would close the job pipe — clear the flag instead.
+    if (sv[1] == 3) {
+      const int flags = ::fcntl(3, F_GETFD);
+      if (flags < 0 || ::fcntl(3, F_SETFD, flags & ~FD_CLOEXEC) < 0)
+        ::_exit(126);
+    } else if (::dup2(sv[1], 3) < 0) {
+      ::_exit(126);
+    }
     close_high_fds();
     ::execv(config_.worker_bin.c_str(), const_cast<char* const*>(argv));
     ::_exit(127);  // exec failed (missing binary); classified ExitError
@@ -265,7 +275,16 @@ WorkerPool::Outcome WorkerPool::run(const store::Digest& fp,
       fd = slots_[static_cast<std::size_t>(slot)].fd;
     }
 
-    const bool delivered = write_frame(fd, job);
+    bool delivered = false;
+    try {
+      delivered = write_frame(fd, job);
+    } catch (const ProtocolError&) {
+      // Hard write error (e.g. ENOBUFS) on the job pipe: treat the worker as
+      // dead-on-arrival — it never saw the flight, so this consumes neither
+      // the retry nor the fingerprint's kill budget, and the exception must
+      // not escape into the executor thread.
+      delivered = false;
+    }
     if (delivered) {
       ++out.attempts;
       count("serve.worker.dispatches");
@@ -281,7 +300,11 @@ WorkerPool::Outcome WorkerPool::run(const store::Digest& fp,
       try {
         reply = read_frame(fd, config_.max_frame_bytes);
       } catch (const ProtocolError&) {
-        reply.reset();  // torn frame — the worker died mid-reply
+        // Torn frame (the worker died mid-reply) — or an oversized one
+        // (FrameTooLarge), where the worker is still *alive* and blocked
+        // writing the rest. Either way fall through to the death path, which
+        // SIGKILLs before reaping so a live worker can never wedge the lane.
+        reply.reset();
       }
     }
 
@@ -328,9 +351,16 @@ WorkerPool::Outcome WorkerPool::run(const store::Digest& fp,
       return out;
     }
 
-    // The worker died (EOF / torn frame / dead-on-arrival write). Reap and
-    // classify outside the pool lock — the monitor skips Busy slots, so this
-    // thread owns the pid.
+    // The worker died (EOF / torn frame / dead-on-arrival write) — or is
+    // alive but unusable (it sent a reply above max_frame_bytes and is
+    // blocked writing the remainder). SIGKILL unconditionally and close our
+    // pipe end *before* the blocking waitpid: both are harmless no-ops on an
+    // already-dead child, and on a live one they guarantee the reap below
+    // cannot deadlock against a worker wedged in write(). Reap and classify
+    // outside the pool lock — the monitor skips Busy slots, so this thread
+    // owns the pid.
+    if (pid > 0) ::kill(pid, SIGKILL);
+    if (fd >= 0) ::close(fd);
     int wstatus = 0;
     if (pid > 0) ::waitpid(pid, &wstatus, 0);
     const robust::CrashKind kind = classify_worker_exit(wstatus);
@@ -338,10 +368,13 @@ WorkerPool::Outcome WorkerPool::run(const store::Digest& fp,
 
     std::unique_lock lock(mutex_);
     Worker& slot_ref = slots_[static_cast<std::size_t>(slot)];
+    slot_ref.fd = -1;  // already closed above
     if (stopping_) {
-      record_crash_locked(kind);
-      if (slot_ref.fd >= 0) ::close(slot_ref.fd);
-      slot_ref.fd = -1;
+      // Shutdown-initiated kill (stop() SIGKILLs busy workers so lanes
+      // unblock): not a crash. Keep it out of the CrashKind tallies —
+      // SIGKILL classifies as OomKill, and polluting crashes_oom on every
+      // drain would mask real OOM kills from operators.
+      count("serve.worker.shutdown_kills");
       slot_ref.pid = -1;
       slot_ref.state = Worker::State::Stopped;
       idle_cv_.notify_all();

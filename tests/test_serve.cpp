@@ -857,6 +857,47 @@ TEST_F(ServeTest, PoisonedRequestQuarantinedAfterThresholdKills) {
   server.shutdown();
 }
 
+TEST_F(ServeTest, OversizedWorkerReplyIsStructuredErrorNotLaneWedge) {
+  // Regression: a reply above max_frame_bytes used to deadlock the lane
+  // permanently — the supervisor's read threw FrameTooLarge, then blocked in
+  // waitpid() on the *live* worker still writing the rest of the oversized
+  // frame. The worker now checks its encoded reply against the cap and
+  // answers a small structured FrameTooLarge error instead (and the
+  // supervisor SIGKILLs before reaping as a backstop), so the tenant gets a
+  // structured reply and the lane keeps serving.
+  serve::ServerConfig config = worker_config(2);
+  config.max_frame_bytes = 16u << 10;
+
+  serve::Request big = grid_request(240.0);
+  big.include_waveforms = true;
+  big.options.transient.t_stop = 5e-9;  // 5000 f64 samples per sink: the
+  big.options.transient.dt = 1e-12;     // encoded reply dwarfs the 16 KiB cap
+  ASSERT_LT(encoded(big).size() + 64, config.max_frame_bytes)
+      << "request must still fit under the cap for this test to be valid";
+
+  const std::int64_t crashes0 = counter("serve.worker.crashes");
+  const std::int64_t retries0 = counter("serve.worker.retries");
+  serve::Server server(config);
+  server.start();
+  serve::Client client;
+  client.connect_tcp("127.0.0.1", server.port());
+
+  const serve::Reply reply = client.analyze(1, big);
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code, serve::ErrorCode::FrameTooLarge);
+  // The worker stayed alive and answered structurally: no crash, no retry.
+  EXPECT_EQ(counter("serve.worker.crashes"), crashes0);
+  EXPECT_EQ(counter("serve.worker.retries"), retries0);
+
+  // The same lanes keep serving flights that fit.
+  serve::Client healthy;
+  healthy.connect_tcp("127.0.0.1", server.port());
+  const serve::Reply ok = healthy.analyze(2, grid_request(300.0));
+  ASSERT_TRUE(ok.ok) << serve::to_string(ok.error.code) << ": "
+                     << ok.error.detail;
+  server.shutdown();
+}
+
 TEST_F(ServeTest, WorkerModeCoalescingAndCacheStillWork) {
   serve::Server server(worker_config(2));
   server.start();

@@ -156,6 +156,16 @@ int main(int argc, char** argv) {
       reply = ind::serve::make_error(job_id, ind::serve::ErrorCode::BadRequest,
                                      e.what());
     }
+    // The supervisor reads replies under the same --max-frame-bytes cap it
+    // handed us: an oversized payload would be rejected there with
+    // FrameTooLarge while we sit blocked writing the remainder. Answer with a
+    // structured (small) Error instead of ever starting an oversized write.
+    if (reply.payload.size() > args.max_frame_bytes)
+      reply = ind::serve::make_error(
+          job_id, ind::serve::ErrorCode::FrameTooLarge,
+          "worker reply of " + std::to_string(reply.payload.size()) +
+              " bytes exceeds the " + std::to_string(args.max_frame_bytes) +
+              "-byte frame cap; lower t_stop/dt or disable include_waveforms");
     if (!ind::serve::write_frame(args.fd, reply)) return 0;
   }
 }
